@@ -1,0 +1,10 @@
+// Figure 2: accuracy vs training time, Fashion-MNIST-like task, IID and
+// non-IID. Also emits the paper's in-text tables (accuracy after a fixed
+// training time; completion time to a target accuracy and FedL's saving).
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig2 FMNIST acc-vs-time",
+                                  fedl::harness::Task::kFmnistLike,
+                                  fedl::bench::accuracy_vs_time_figure);
+}

@@ -1,0 +1,8 @@
+// Figure 3: accuracy vs training time, CIFAR-10-like task, IID and non-IID.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig3 CIFAR acc-vs-time",
+                                  fedl::harness::Task::kCifarLike,
+                                  fedl::bench::accuracy_vs_time_figure);
+}

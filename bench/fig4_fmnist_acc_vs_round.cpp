@@ -1,0 +1,9 @@
+// Figure 4: accuracy vs federated round, Fashion-MNIST-like task, IID and
+// non-IID, plus the "rounds to target accuracy" in-text table.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig4 FMNIST acc-vs-round",
+                                  fedl::harness::Task::kFmnistLike,
+                                  fedl::bench::accuracy_vs_round_figure);
+}

@@ -1,0 +1,9 @@
+// Figure 5: accuracy vs federated round, CIFAR-10-like task, IID and
+// non-IID.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig5 CIFAR acc-vs-round",
+                                  fedl::harness::Task::kCifarLike,
+                                  fedl::bench::accuracy_vs_round_figure);
+}

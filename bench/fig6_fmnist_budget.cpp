@@ -1,0 +1,9 @@
+// Figure 6: budget impact for the Fashion-MNIST-like task — final training
+// loss per algorithm as the long-term budget C is swept, IID and non-IID.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig6 FMNIST budget",
+                                  fedl::harness::Task::kFmnistLike,
+                                  fedl::bench::budget_impact_figure);
+}

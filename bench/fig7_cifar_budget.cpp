@@ -1,0 +1,8 @@
+// Figure 7: budget impact for the CIFAR-10-like task.
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  return fedl::bench::figure_main(argc, argv, "Fig7 CIFAR budget",
+                                  fedl::harness::Task::kCifarLike,
+                                  fedl::bench::budget_impact_figure);
+}

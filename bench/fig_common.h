@@ -1,0 +1,165 @@
+// Shared driver for the figure benches (DESIGN.md §3).
+//
+// Every accuracy figure (Figs. 2–5) runs the paper's roster (FedL, FedCS,
+// FedAvg, Pow-d) on IID and non-IID variants of one task and prints one CSV
+// series per (algorithm, setting) plus the in-text tables the paper quotes.
+// The budget figures (Figs. 6–7) sweep the budget and report the final loss
+// per algorithm. Flags let a full-scale run reproduce the paper's exact
+// model sizes (--scale 1.0) while the defaults finish on a laptop CPU.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace fedl::bench {
+
+inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
+                                                   harness::Task task) {
+  harness::ScenarioConfig cfg;
+  cfg.task = task;
+  const bool cifar = task == harness::Task::kCifarLike;
+  cfg.num_clients = static_cast<std::size_t>(flags.get_int("clients", 12));
+  cfg.n_min = static_cast<std::size_t>(flags.get_int("n", 4));
+  // The budget is the binding stop (the paper's long-term constraint);
+  // max_epochs is only a safety cap above the budget-induced horizon T_C.
+  cfg.budget = flags.get_double("budget", 900.0);
+  cfg.max_epochs =
+      static_cast<std::size_t>(flags.get_int("epochs", cifar ? 45 : 60));
+  cfg.train_samples =
+      static_cast<std::size_t>(flags.get_int("samples", cifar ? 400 : 600));
+  cfg.test_samples = static_cast<std::size_t>(flags.get_int("test", 250));
+  cfg.width_scale = flags.get_double("scale", cifar ? 0.1 : 0.08);
+  cfg.batch_cap = static_cast<std::size_t>(flags.get_int("batch", 24));
+  cfg.eval_cap = static_cast<std::size_t>(flags.get_int("eval", 160));
+  cfg.theta = flags.get_double("theta", 0.5);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.dane.sgd_steps =
+      static_cast<std::size_t>(flags.get_int("sgd-steps", 3));
+  return cfg;
+}
+
+struct FigureRun {
+  std::string setting;  // "IID" or "Non-IID"
+  std::vector<fl::TrainTrace> traces;
+};
+
+// Runs the paper roster on both data distributions.
+inline std::vector<FigureRun> run_roster(const Flags& flags,
+                                         harness::Task task) {
+  std::vector<FigureRun> out;
+  for (bool iid : {true, false}) {
+    harness::ScenarioConfig cfg = scenario_from_flags(flags, task);
+    cfg.iid = iid;
+    harness::Experiment exp(cfg);
+    FigureRun run;
+    run.setting = iid ? "IID" : "Non-IID";
+    for (const auto& name : harness::paper_roster()) {
+      auto strat = harness::make_strategy(name, cfg);
+      run.traces.push_back(exp.run(*strat).trace);
+    }
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+// Figs. 2–3: accuracy vs training time, plus the in-text tables
+// ("accuracy after T seconds", "completion time to target accuracy").
+inline void accuracy_vs_time_figure(const std::string& figure,
+                                    harness::Task task, const Flags& flags) {
+  const auto runs = run_roster(flags, task);
+  for (const auto& run : runs) {
+    for (const auto& t : run.traces)
+      harness::print_trace_series(std::cout, figure + " " + run.setting,
+                                  t.algorithm, t);
+  }
+  // The CIFAR-like task is deliberately harder (DESIGN.md §5): probe a
+  // correspondingly lower completion-time target.
+  const double acc_target = flags.get_double(
+      "target-acc", task == harness::Task::kCifarLike ? 0.35 : 0.6);
+  for (const auto& run : runs) {
+    std::cout << "-- Setting: " << run.setting << "\n";
+    // "accuracy after X s": use the shortest total time so every algorithm
+    // has data at the probe point.
+    double probe = run.traces.front().total_time();
+    for (const auto& t : run.traces)
+      probe = std::min(probe, t.total_time());
+    harness::print_accuracy_at_time_table(std::cout, probe, run.traces);
+    harness::print_time_to_accuracy_table(std::cout, acc_target, run.traces);
+  }
+}
+
+// Figs. 4–5: accuracy vs federated round plus "rounds to target" table.
+inline void accuracy_vs_round_figure(const std::string& figure,
+                                     harness::Task task, const Flags& flags) {
+  const auto runs = run_roster(flags, task);
+  for (const auto& run : runs) {
+    for (const auto& t : run.traces)
+      harness::print_trace_series(std::cout, figure + " " + run.setting,
+                                  t.algorithm, t);
+  }
+  const double acc_target = flags.get_double(
+      "target-acc", task == harness::Task::kCifarLike ? 0.35 : 0.6);
+  for (const auto& run : runs) {
+    std::cout << "-- Setting: " << run.setting << "\n";
+    harness::print_rounds_to_accuracy_table(std::cout, acc_target,
+                                            run.traces);
+  }
+}
+
+// Figs. 6–7: final training loss as a function of the budget.
+inline void budget_impact_figure(const std::string& figure,
+                                 harness::Task task, const Flags& flags) {
+  const std::vector<double> budgets =
+      flags.get_double_list("budgets", {100, 200, 400, 800});
+  for (bool iid : {true, false}) {
+    const std::string setting = iid ? "IID" : "Non-IID";
+    std::cout << "== Series: " << figure << " " << setting
+              << " / loss_vs_budget\n";
+    CsvTable table;
+    table.add_column("budget");
+    harness::ScenarioConfig probe = scenario_from_flags(flags, task);
+    for (const auto& name : harness::paper_roster()) {
+      harness::ScenarioConfig cfg = probe;
+      auto strat = harness::make_strategy(name, cfg);
+      table.add_column(strat->name() + "_loss");
+    }
+    for (double budget : budgets) {
+      std::vector<double> row = {budget};
+      for (const auto& name : harness::paper_roster()) {
+        harness::ScenarioConfig cfg = scenario_from_flags(flags, task);
+        cfg.iid = iid;
+        cfg.budget = budget;
+        harness::Experiment exp(cfg);
+        auto strat = harness::make_strategy(name, cfg);
+        row.push_back(exp.run(*strat).trace.final_loss());
+      }
+      table.append_row(row);
+    }
+    table.write(std::cout);
+    std::cout << "\n";
+  }
+}
+
+inline int figure_main(int argc, char** argv, const std::string& figure,
+                       harness::Task task,
+                       void (*fn)(const std::string&, harness::Task,
+                                  const Flags&)) {
+  try {
+    Flags flags(argc, argv);
+    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    fn(figure, task, flags);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace fedl::bench

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every bench binary and collects output; used for bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") =====" >> bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+    echo "" >> bench_output.txt
+  fi
+done
+echo "ALL_BENCHES_DONE" >> bench_output.txt

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Replot the paper figures from bench_output.txt.
+
+The figure benches print one CSV block per (algorithm, setting) prefixed by
+"== Series: <figure> / <label>". This script parses those blocks and, when
+matplotlib is installed, renders one PNG per figure into --outdir; without
+matplotlib it still parses everything and prints a summary, so it doubles as
+an output-format validator in minimal environments.
+
+Usage:
+    ./run_benches.sh
+    python3 scripts/plot_figures.py [--input bench_output.txt] [--outdir plots]
+"""
+
+import argparse
+import collections
+import csv
+import io
+import os
+import re
+import sys
+
+SERIES_RE = re.compile(r"^== Series: (?P<figure>.+) / (?P<label>.+)$")
+
+
+def parse_series(path):
+    """Returns {figure: {label: list-of-row-dicts}}."""
+    figures = collections.defaultdict(dict)
+    with open(path) as f:
+        lines = f.read().splitlines()
+    i = 0
+    while i < len(lines):
+        m = SERIES_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        figure, label = m.group("figure"), m.group("label")
+        block = []
+        i += 1
+        while i < len(lines) and lines[i] and not lines[i].startswith(("==", "--", "|", "=====")):
+            block.append(lines[i])
+            i += 1
+        if not block:
+            continue
+        reader = csv.DictReader(io.StringIO("\n".join(block)))
+        rows = []
+        for row in reader:
+            try:
+                rows.append({k: float(v) for k, v in row.items()})
+            except (TypeError, ValueError):
+                break  # not a numeric CSV block (e.g. legend table)
+        if rows:
+            figures[figure][label] = rows
+    return figures
+
+
+def plot(figures, outdir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(outdir, exist_ok=True)
+    for figure, series in figures.items():
+        sample = next(iter(series.values()))[0]
+        if "test_acc" in sample and "time_s" in sample:
+            x_key = "round" if "acc-vs-round" in figure else "time_s"
+            y_key = "test_acc"
+        elif "budget" in sample:
+            x_key, y_key = "budget", None  # loss-vs-budget table: one line/col
+        else:
+            continue
+
+        fig, ax = plt.subplots(figsize=(5, 3.5))
+        if y_key:
+            for label, rows in sorted(series.items()):
+                ax.plot([r[x_key] for r in rows], [r[y_key] for r in rows],
+                        marker="o", markersize=2.5, label=label)
+            ax.set_ylabel("test accuracy")
+        else:
+            rows = next(iter(series.values()))
+            for col in rows[0]:
+                if col == "budget":
+                    continue
+                ax.plot([r["budget"] for r in rows], [r[col] for r in rows],
+                        marker="o", markersize=2.5, label=col)
+            ax.set_ylabel("final training loss")
+        ax.set_xlabel(x_key.replace("_", " "))
+        ax.set_title(figure, fontsize=9)
+        ax.legend(fontsize=7)
+        ax.grid(alpha=0.3)
+        fig.tight_layout()
+        name = re.sub(r"[^A-Za-z0-9]+", "_", figure).strip("_") + ".png"
+        fig.savefig(os.path.join(outdir, name), dpi=150)
+        plt.close(fig)
+        print(f"wrote {os.path.join(outdir, name)}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--input", default="bench_output.txt")
+    ap.add_argument("--outdir", default="plots")
+    args = ap.parse_args()
+
+    figures = parse_series(args.input)
+    if not figures:
+        sys.exit(f"no series found in {args.input}; run ./run_benches.sh first")
+    total = sum(len(s) for s in figures.values())
+    print(f"parsed {len(figures)} figures, {total} series")
+    try:
+        plot(figures, args.outdir)
+    except ImportError:
+        print("matplotlib not installed; parse-only mode (series verified).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Replace named '===== <bench> =====' sections of bench_output.txt with
+freshly regenerated ones (used when a subset of benches is rerun after a
+calibration fix, so the committed output reflects the final binaries).
+
+Usage: splice_bench_sections.py <main_output> <replacement_file>...
+Each replacement file must start with its own '===== name =====' header.
+"""
+
+import re
+import sys
+
+
+def split_sections(text):
+    """Returns (preamble, [(name, body)]) keeping original order."""
+    parts = re.split(r"^===== (.+?) =====$", text, flags=re.M)
+    preamble = parts[0]
+    sections = []
+    for i in range(1, len(parts), 2):
+        sections.append((parts[i], parts[i + 1]))
+    return preamble, sections
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    main_path = sys.argv[1]
+    preamble, sections = split_sections(open(main_path).read())
+
+    replacements = {}
+    for path in sys.argv[2:]:
+        _, repl = split_sections(open(path).read())
+        for name, body in repl:
+            replacements[name] = body
+
+    out = [preamble]
+    seen = set()
+    for name, body in sections:
+        if name in replacements:
+            body = replacements[name]
+            seen.add(name)
+        out.append(f"===== {name} =====")
+        out.append(body)
+    missing = set(replacements) - seen
+    if missing:
+        sys.exit(f"sections not found in {main_path}: {sorted(missing)}")
+    open(main_path, "w").write("".join(
+        s if s.endswith("\n") or s.startswith("=====") else s
+        for s in _join(out)))
+    print(f"spliced {sorted(seen)} into {main_path}")
+
+
+def _join(parts):
+    result = []
+    for p in parts:
+        result.append(p if not p.startswith("=====") else p + "\n")
+    return result
+
+
+if __name__ == "__main__":
+    main()

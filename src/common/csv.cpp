@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/error.h"
+
+namespace fedl {
+
+std::size_t CsvTable::add_column(std::string name) {
+  columns_.push_back(CsvColumn{std::move(name), {}});
+  return columns_.size() - 1;
+}
+
+void CsvTable::append(std::size_t column, double value) {
+  FEDL_CHECK_LT(column, columns_.size());
+  columns_[column].values.push_back(value);
+}
+
+void CsvTable::append_row(const std::vector<double>& row) {
+  FEDL_CHECK_EQ(row.size(), columns_.size());
+  for (std::size_t i = 0; i < row.size(); ++i)
+    columns_[i].values.push_back(row[i]);
+}
+
+std::size_t CsvTable::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().values.size();
+}
+
+const CsvColumn& CsvTable::column(std::size_t i) const {
+  FEDL_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << columns_[c].name;
+    FEDL_CHECK_EQ(columns_[c].values.size(), num_rows())
+        << "ragged column " << columns_[c].name;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      os << format_num(columns_[c].values[r]);
+    }
+    os << '\n';
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FEDL_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FEDL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::write(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c]
+         << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << "|" << std::string(widths[c] + 2, '-');
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_num(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace fedl

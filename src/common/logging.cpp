@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace fedl {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  throw ConfigError("unknown log level: " + name);
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace fedl

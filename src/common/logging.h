@@ -1,0 +1,56 @@
+// Minimal leveled logger. Benches and examples log progress at Info; the
+// engine logs per-epoch detail at Debug. Output goes to stderr so CSV series
+// printed on stdout by benches stay machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fedl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  ~LogMessage() { emit_log(level_, stream_.str()); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the stream when the level is filtered out.
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace detail
+}  // namespace fedl
+
+#define FEDL_LOG(level)                                      \
+  (::fedl::log_level() > ::fedl::LogLevel::level)            \
+      ? (void)0                                              \
+      : ::fedl::detail::LogSink{} &                          \
+            ::fedl::detail::LogMessage(::fedl::LogLevel::level)
+
+#define FEDL_DEBUG FEDL_LOG(kDebug)
+#define FEDL_INFO FEDL_LOG(kInfo)
+#define FEDL_WARN FEDL_LOG(kWarn)
+#define FEDL_ERROR FEDL_LOG(kError)

@@ -1,0 +1,60 @@
+#include "compress/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedl::compress {
+
+CompressedUpdate NoneCompressor::apply(const ParamVec& d,
+                                       std::size_t client) {
+  (void)client;
+  return {d, 32.0 * static_cast<double>(d.size())};
+}
+
+QuantizeCompressor::QuantizeCompressor(std::uint8_t bits, std::uint64_t seed)
+    : bits_(bits), rng_(seed) {}
+
+CompressedUpdate QuantizeCompressor::apply(const ParamVec& d,
+                                           std::size_t client) {
+  (void)client;
+  const QuantizedVec q = quantize(d, bits_, rng_);
+  return {dequantize(q), q.payload_bits()};
+}
+
+std::string QuantizeCompressor::name() const {
+  return "quant" + std::to_string(static_cast<int>(bits_));
+}
+
+TopKCompressor::TopKCompressor(double fraction, std::size_t num_clients)
+    : fraction_(fraction), feedback_(num_clients) {
+  FEDL_CHECK(fraction > 0.0 && fraction <= 1.0) << "fraction=" << fraction;
+}
+
+CompressedUpdate TopKCompressor::apply(const ParamVec& d,
+                                       std::size_t client) {
+  FEDL_CHECK_LT(client, feedback_.size());
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(fraction_ * static_cast<double>(d.size()))));
+  const SparseVec s = feedback_[client].compress(d, k);
+  return {densify(s), s.payload_bits()};
+}
+
+std::string TopKCompressor::name() const {
+  return "topk" + std::to_string(static_cast<int>(fraction_ * 100.0));
+}
+
+CompressorPtr make_compressor(const std::string& name,
+                              std::size_t num_clients, std::uint64_t seed) {
+  if (name == "none") return std::make_unique<NoneCompressor>();
+  if (name == "quant8") return std::make_unique<QuantizeCompressor>(8, seed);
+  if (name == "quant4") return std::make_unique<QuantizeCompressor>(4, seed);
+  if (name == "topk10")
+    return std::make_unique<TopKCompressor>(0.10, num_clients);
+  if (name == "topk1")
+    return std::make_unique<TopKCompressor>(0.01, num_clients);
+  throw ConfigError("unknown compressor: " + name);
+}
+
+}  // namespace fedl::compress

@@ -1,0 +1,70 @@
+// Unified update-compression interface for the FL engine.
+//
+// A Compressor transforms a client's correction d_{t,k} into (a) the vector
+// the server actually receives and (b) the uplink payload size in bits that
+// replaces the constant s in the latency model. kNone reproduces the paper
+// exactly; kQuantize/kTopK model the communication-efficiency extensions
+// surveyed in related work (e.g. CMFL [28]).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "compress/quantize.h"
+#include "compress/topk.h"
+
+namespace fedl::compress {
+
+struct CompressedUpdate {
+  ParamVec restored;      // what the server aggregates
+  double payload_bits = 0.0;  // what travels the uplink
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+  // `client` keys per-client state (e.g. error feedback).
+  virtual CompressedUpdate apply(const ParamVec& d, std::size_t client) = 0;
+  virtual std::string name() const = 0;
+};
+
+using CompressorPtr = std::unique_ptr<Compressor>;
+
+// Pass-through: payload = 32 bits per parameter.
+class NoneCompressor : public Compressor {
+ public:
+  CompressedUpdate apply(const ParamVec& d, std::size_t client) override;
+  std::string name() const override { return "none"; }
+};
+
+// Stochastic quantization to `bits` per parameter.
+class QuantizeCompressor : public Compressor {
+ public:
+  QuantizeCompressor(std::uint8_t bits, std::uint64_t seed);
+  CompressedUpdate apply(const ParamVec& d, std::size_t client) override;
+  std::string name() const override;
+
+ private:
+  std::uint8_t bits_;
+  Rng rng_;
+};
+
+// Top-k with per-client error feedback; `fraction` of coordinates kept.
+class TopKCompressor : public Compressor {
+ public:
+  TopKCompressor(double fraction, std::size_t num_clients);
+  CompressedUpdate apply(const ParamVec& d, std::size_t client) override;
+  std::string name() const override;
+
+ private:
+  double fraction_;
+  std::vector<ErrorFeedback> feedback_;
+};
+
+// Factory: "none", "quant8", "quant4", "topk10" (10% kept), "topk1".
+CompressorPtr make_compressor(const std::string& name,
+                              std::size_t num_clients, std::uint64_t seed);
+
+}  // namespace fedl::compress

@@ -1,0 +1,56 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fedl::compress {
+
+SparseVec top_k(const ParamVec& x, std::size_t k) {
+  SparseVec out;
+  out.dim = x.size();
+  if (x.empty() || k == 0) return out;
+  k = std::min(k, x.size());
+
+  std::vector<std::uint32_t> order(x.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(x[a]) > std::abs(x[b]);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());  // deterministic layout
+
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (std::uint32_t i : out.indices) out.values.push_back(x[i]);
+  return out;
+}
+
+ParamVec densify(const SparseVec& s) {
+  ParamVec out(s.dim, 0.0f);
+  FEDL_CHECK_EQ(s.indices.size(), s.values.size());
+  for (std::size_t i = 0; i < s.indices.size(); ++i) {
+    FEDL_CHECK_LT(s.indices[i], s.dim);
+    out[s.indices[i]] = s.values[i];
+  }
+  return out;
+}
+
+SparseVec ErrorFeedback::compress(const ParamVec& x, std::size_t k) {
+  ParamVec carried = x;
+  if (residual_.size() == carried.size()) {
+    for (std::size_t i = 0; i < carried.size(); ++i)
+      carried[i] += residual_[i];
+  }
+  SparseVec s = top_k(carried, k);
+  // New residual = carried − densify(s).
+  residual_ = std::move(carried);
+  for (std::size_t i = 0; i < s.indices.size(); ++i)
+    residual_[s.indices[i]] -= s.values[i];
+  return s;
+}
+
+}  // namespace fedl::compress

@@ -1,0 +1,26 @@
+#include "core/budget.h"
+
+#include "common/error.h"
+
+namespace fedl::core {
+
+BudgetLedger::BudgetLedger(double total) : total_(total) {
+  FEDL_CHECK_GT(total, 0.0) << "budget must be positive";
+}
+
+void BudgetLedger::charge(double amount) {
+  FEDL_CHECK_GE(amount, 0.0);
+  spent_ += amount;
+}
+
+HorizonBounds BudgetLedger::horizon_bounds(double budget, std::size_t n,
+                                           double min_cost, double max_cost) {
+  if (budget <= 0.0 || n == 0 || min_cost <= 0.0 || max_cost < min_cost)
+    throw ConfigError("horizon_bounds: invalid budget/n/cost range");
+  HorizonBounds hb;
+  hb.lower = budget / (static_cast<double>(n) * max_cost);
+  hb.upper = budget / (static_cast<double>(n) * min_cost);
+  return hb;
+}
+
+}  // namespace fedl::core

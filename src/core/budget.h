@@ -1,0 +1,39 @@
+// Long-term budget accounting — constraint (3a) and the stopping-time range
+//   C/(n·max c) ≤ T_C ≤ C/(n·min c)
+// that the reformulation uses to bound the FL life cycle.
+#pragma once
+
+#include <cstddef>
+
+namespace fedl::core {
+
+struct HorizonBounds {
+  double lower = 0.0;  // C / (n · max cost)
+  double upper = 0.0;  // C / (n · min cost)
+};
+
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(double total);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+  bool exhausted() const { return remaining() <= 0.0; }
+
+  // Records an epoch's rent; charging more than remains is allowed once
+  // (the epoch that exhausts the budget ends the FL procedure, as in
+  // Algorithm 1's `while C ≥ 0` loop) but never silently.
+  void charge(double amount);
+
+  // Paper's T_C range for minimum participation n and the observed cost
+  // bounds. Throws ConfigError on degenerate inputs.
+  static HorizonBounds horizon_bounds(double budget, std::size_t n,
+                                      double min_cost, double max_cost);
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace fedl::core

@@ -1,0 +1,54 @@
+#include "core/fairness.h"
+
+#include "common/error.h"
+
+namespace fedl::core {
+
+ParticipationTracker::ParticipationTracker(std::size_t num_clients)
+    : selected_(num_clients, 0), available_(num_clients, 0) {
+  FEDL_CHECK_GT(num_clients, 0u);
+}
+
+void ParticipationTracker::record(const std::vector<std::size_t>& available,
+                                  const std::vector<std::size_t>& selected) {
+  ++epochs_;
+  for (std::size_t id : available) {
+    FEDL_CHECK_LT(id, available_.size());
+    ++available_[id];
+  }
+  for (std::size_t id : selected) {
+    FEDL_CHECK_LT(id, selected_.size());
+    ++selected_[id];
+  }
+}
+
+std::size_t ParticipationTracker::selections(std::size_t client) const {
+  FEDL_CHECK_LT(client, selected_.size());
+  return selected_[client];
+}
+
+std::size_t ParticipationTracker::availabilities(std::size_t client) const {
+  FEDL_CHECK_LT(client, available_.size());
+  return available_[client];
+}
+
+double ParticipationTracker::rate(std::size_t client) const {
+  FEDL_CHECK_LT(client, selected_.size());
+  if (available_[client] == 0) return 0.0;
+  return static_cast<double>(selected_[client]) /
+         static_cast<double>(available_[client]);
+}
+
+double jains_index(const std::vector<std::size_t>& counts) {
+  FEDL_CHECK(!counts.empty());
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double v = static_cast<double>(c);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // nobody selected: trivially even
+  return sum * sum / (static_cast<double>(counts.size()) * sum_sq);
+}
+
+}  // namespace fedl::core

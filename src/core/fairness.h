@@ -1,0 +1,56 @@
+// Selection fairness — the extension the paper's conclusion names as future
+// work ("we will consider selection fairness to further expand the CS
+// capabilities"), in the spirit of Huang et al. [11]'s long-term fairness
+// quota on client participation rates.
+//
+// ParticipationTracker maintains each client's long-term participation rate
+// (selections / epochs available). FedLStrategy can enforce a minimum rate
+// by boosting the fractional selection of under-served clients before
+// rounding — the quota enters as a pre-rounding adjustment, so Theorem 3's
+// marginal preservation still applies to the adjusted fractions.
+// jains_index() is the standard fairness metric reported by the bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedl::core {
+
+struct FairnessConfig {
+  bool enabled = false;
+  double min_rate = 0.15;  // target long-term participation rate per client
+  double boost = 0.6;      // fraction boost per unit of quota shortfall
+  // Rates are meaningless for the first few epochs; hold off until then.
+  std::size_t warmup_epochs = 5;
+};
+
+class ParticipationTracker {
+ public:
+  explicit ParticipationTracker(std::size_t num_clients);
+
+  // Record one epoch: who was available and who was selected.
+  void record(const std::vector<std::size_t>& available,
+              const std::vector<std::size_t>& selected);
+
+  std::size_t epochs() const { return epochs_; }
+  std::size_t selections(std::size_t client) const;
+  std::size_t availabilities(std::size_t client) const;
+  // Long-term participation rate: selections / availabilities (0 when the
+  // client has never been available).
+  double rate(std::size_t client) const;
+
+  const std::vector<std::size_t>& selection_counts() const {
+    return selected_;
+  }
+
+ private:
+  std::size_t epochs_ = 0;
+  std::vector<std::size_t> selected_;
+  std::vector<std::size_t> available_;
+};
+
+// Jain's fairness index over per-client selection counts:
+// (Σx)² / (n·Σx²) ∈ [1/n, 1]; 1 = perfectly even participation.
+double jains_index(const std::vector<std::size_t>& counts);
+
+}  // namespace fedl::core

@@ -1,0 +1,119 @@
+#include "core/fedl_strategy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fedl::core {
+
+FedLStrategy::FedLStrategy(std::size_t num_clients, FedLConfig cfg)
+    : cfg_(cfg),
+      learner_(num_clients, cfg.learner),
+      rng_(cfg.seed),
+      participation_(num_clients) {}
+
+Decision FedLStrategy::decide(const sim::EpochContext& ctx,
+                              const BudgetLedger& budget) {
+  Decision dec;
+  last_frac_ = learner_.decide(ctx, budget);
+  const std::size_t k = last_frac_.ids.size();
+  if (k == 0) return dec;
+
+  // Fairness extension (future work, §7): boost the fraction of clients
+  // whose long-term participation rate trails the quota, proportionally to
+  // the shortfall. Applied pre-rounding so RDCS's marginal guarantee holds
+  // for the adjusted fractions.
+  if (cfg_.fairness.enabled &&
+      participation_.epochs() >= cfg_.fairness.warmup_epochs) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t id = last_frac_.ids[i];
+      const double shortfall =
+          cfg_.fairness.min_rate - participation_.rate(id);
+      if (shortfall > 0.0) {
+        last_frac_.x[i] = std::min(
+            1.0, last_frac_.x[i] + cfg_.fairness.boost * shortfall /
+                                       cfg_.fairness.min_rate);
+      }
+    }
+  }
+
+  // Round the fractional selections (Algorithm 2).
+  std::vector<int> rounded =
+      cfg_.independent_rounding
+          ? independent_round(last_frac_.x, rng_)
+          : rdcs_round(last_frac_.x, rng_);
+
+  // --- feasibility repair ---------------------------------------------------
+  // RDCS preserves Σx̃ in expectation but a realization can land below n or
+  // above the budget; repair deterministically, preferring the learner's own
+  // ranking (largest fraction first for top-ups, smallest first for drops).
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return last_frac_.x[a] > last_frac_.x[b];
+  });
+
+  const std::size_t n_eff =
+      std::min<std::size_t>(cfg_.learner.n_min, k);
+  std::size_t count = 0;
+  for (int r : rounded) count += static_cast<std::size_t>(r);
+  for (std::size_t oi = 0; oi < k && count < n_eff; ++oi) {
+    const std::size_t i = order[oi];
+    if (!rounded[i]) {
+      rounded[i] = 1;
+      ++count;
+    }
+  }
+
+  // Budget repair: drop the lowest-fraction selections until affordable,
+  // but keep at least one client when any single client is affordable.
+  auto total_cost = [&]() {
+    double c = 0.0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (rounded[i]) c += ctx.available[i].cost;
+    return c;
+  };
+  double cost = total_cost();
+  if (cost > budget.remaining()) {
+    for (auto it = order.rbegin(); it != order.rend() && count > 1; ++it) {
+      const std::size_t i = *it;
+      if (!rounded[i]) continue;
+      if (cost <= budget.remaining()) break;
+      rounded[i] = 0;
+      --count;
+      cost -= ctx.available[i].cost;
+    }
+    if (cost > budget.remaining() && count == 1) {
+      // Even one client is unaffordable: swap to the cheapest, or give up.
+      std::size_t cur = k;
+      for (std::size_t i = 0; i < k; ++i)
+        if (rounded[i]) cur = i;
+      std::size_t cheapest = 0;
+      for (std::size_t i = 1; i < k; ++i)
+        if (ctx.available[i].cost < ctx.available[cheapest].cost) cheapest = i;
+      rounded[cur] = 0;
+      if (ctx.available[cheapest].cost <= budget.remaining())
+        rounded[cheapest] = 1;
+    }
+  }
+
+  for (std::size_t i = 0; i < k; ++i)
+    if (rounded[i]) dec.selected.push_back(last_frac_.ids[i]);
+  dec.num_iterations = rho_to_iters(last_frac_.rho, cfg_.l_max);
+  participation_.record(last_frac_.ids, dec.selected);
+
+  FEDL_DEBUG << "FedL: |S|=" << dec.selected.size()
+             << " l=" << dec.num_iterations << " rho=" << last_frac_.rho;
+  return dec;
+}
+
+void FedLStrategy::observe(const sim::EpochContext& ctx,
+                           const Decision& decision,
+                           const fl::EpochOutcome& outcome) {
+  (void)decision;
+  if (last_frac_.ids.empty()) return;
+  learner_.observe(ctx, last_frac_, outcome);
+}
+
+}  // namespace fedl::core

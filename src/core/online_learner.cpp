@@ -1,0 +1,226 @@
+#include "core/online_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "solver/prox_solver.h"
+
+namespace fedl::core {
+
+OnlineLearner::OnlineLearner(std::size_t num_clients, LearnerConfig cfg)
+    : cfg_(cfg),
+      num_clients_(num_clients),
+      xfrac_(num_clients, 0.5),
+      rho_(2.0),
+      mu_(num_clients + 1, 0.0),  // μ_1 = 0 (Lemma 2's initialization)
+      eta_est_(num_clients, cfg.init_eta),
+      delta_est_(num_clients, cfg.init_delta_est),
+      last_loss_(cfg.init_loss) {
+  FEDL_CHECK_GT(num_clients, 0u);
+  FEDL_CHECK_GT(cfg_.beta, 0.0);
+  FEDL_CHECK_GT(cfg_.delta, 0.0);
+  FEDL_CHECK_GE(cfg_.rho_max, 1.0);
+  FEDL_CHECK_GT(cfg_.n_min, 0u);
+}
+
+double OnlineLearner::x_fraction(std::size_t client) const {
+  FEDL_CHECK_LT(client, num_clients_);
+  return xfrac_[client];
+}
+
+double OnlineLearner::eta_estimate(std::size_t client) const {
+  FEDL_CHECK_LT(client, num_clients_);
+  return eta_est_[client];
+}
+
+double OnlineLearner::delta_estimate(std::size_t client) const {
+  FEDL_CHECK_LT(client, num_clients_);
+  return delta_est_[client];
+}
+
+FractionalDecision OnlineLearner::decide(const sim::EpochContext& ctx,
+                                         const BudgetLedger& budget) {
+  FractionalDecision dec;
+  const std::size_t k = ctx.available.size();
+  dec.rho = rho_;
+  if (k == 0) return dec;  // nothing available this epoch
+
+  dec.ids.reserve(k);
+  std::vector<double> tau(k);    // τ^loc + τ^cm per available client
+  std::vector<double> cost(k);
+  std::vector<double> eta(k);    // η̂ per available client
+  std::vector<double> delta(k);  // Δ̂ per available client
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& obs = ctx.available[i];
+    dec.ids.push_back(obs.id);
+    tau[i] = obs.tau_loc + obs.tau_cm_est;
+    cost[i] = obs.cost;
+    eta[i] = eta_est_[obs.id];
+    delta[i] = delta_est_[obs.id];
+  }
+
+  // --- feasible set -------------------------------------------------------
+  const std::size_t n_eff = std::min<std::size_t>(cfg_.n_min, k);
+  const double n_d = static_cast<double>(cfg_.n_min);
+
+  // Budget pacing: spend roughly pacing·n·c̄ per epoch so the horizon lands
+  // inside the paper's T_C range, but never plan beyond what remains, and
+  // always leave enough room for the n cheapest clients when affordable.
+  std::vector<double> sorted_cost = cost;
+  std::sort(sorted_cost.begin(), sorted_cost.end());
+  double cheapest_n = 0.0;
+  for (std::size_t i = 0; i < n_eff; ++i) cheapest_n += sorted_cost[i];
+  const double mean_cost =
+      std::accumulate(cost.begin(), cost.end(), 0.0) / static_cast<double>(k);
+  double cap = cfg_.pacing * n_d * mean_cost;
+  cap = std::max(cap, cheapest_n);
+  cap = std::min(cap, budget.remaining());
+
+  solver::FeasibleSet set;
+  set.lo.assign(k + 1, 0.0);
+  set.hi.assign(k + 1, 1.0);
+  set.lo[k] = 1.0;
+  set.hi[k] = cfg_.rho_max;
+  {
+    // Σ c_k x_k ≤ cap  (ρ coefficient 0).
+    solver::Halfspace budget_hs;
+    budget_hs.a = cost;
+    budget_hs.a.push_back(0.0);
+    budget_hs.b = cap;
+    set.halfspaces.push_back(std::move(budget_hs));
+    // Σ x_k ≥ n_eff  ⇔  Σ (−1)·x_k ≤ −n_eff.
+    solver::Halfspace part_hs;
+    part_hs.a.assign(k + 1, -1.0);
+    part_hs.a[k] = 0.0;
+    part_hs.b = -static_cast<double>(n_eff);
+    set.halfspaces.push_back(std::move(part_hs));
+  }
+
+  // --- descent step (8) -----------------------------------------------------
+  std::vector<double> anchor(k + 1);
+  for (std::size_t i = 0; i < k; ++i) anchor[i] = xfrac_[dec.ids[i]];
+  anchor[k] = rho_;
+
+  std::vector<double> grad_f(k + 1, 0.0);
+  double sum_xtau = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    grad_f[i] = anchor[k] * tau[i];
+    sum_xtau += anchor[i] * tau[i];
+  }
+  grad_f[k] = sum_xtau;
+
+  // Multipliers for the constraints present this epoch: μ^0 plus the μ^k of
+  // the available clients.
+  std::vector<double> mu_local(k + 1);
+  mu_local[0] = mu_[0];
+  for (std::size_t i = 0; i < k; ++i) mu_local[i + 1] = mu_[1 + dec.ids[i]];
+
+  const double last_loss = last_loss_;
+  const double theta = cfg_.theta;
+
+  solver::LinearizedStep step;
+  step.grad_f = std::move(grad_f);
+  step.anchor = anchor;
+  step.beta = cfg_.beta;
+  step.mu = std::move(mu_local);
+  step.h = [k, eta, delta, last_loss, theta, n_d](
+               const std::vector<double>& phi) {
+    std::vector<double> h(k + 1);
+    const double rho = phi[k];
+    double gain = 0.0;
+    for (std::size_t i = 0; i < k; ++i) gain += phi[i] * delta[i];
+    h[0] = last_loss - (rho / n_d) * gain - theta;          // h^0
+    for (std::size_t i = 0; i < k; ++i)
+      h[i + 1] = eta[i] * phi[i] * rho - rho + 1.0;          // h^k
+    return h;
+  };
+  step.h_grad_mu = [k, eta, delta, n_d](const std::vector<double>& phi,
+                                        const std::vector<double>& mu) {
+    std::vector<double> g(k + 1, 0.0);
+    const double rho = phi[k];
+    double gain = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      // ∂h^0/∂x_i and ∂h^{i}/∂x_i contributions.
+      g[i] = -mu[0] * (rho / n_d) * delta[i] + mu[i + 1] * eta[i] * rho;
+      gain += phi[i] * delta[i];
+      // ∂h^{i}/∂ρ contribution.
+      g[k] += mu[i + 1] * (eta[i] * phi[i] - 1.0);
+    }
+    g[k] += -mu[0] * gain / n_d;  // ∂h^0/∂ρ
+    return g;
+  };
+
+  solver::ProxSolverOptions opts;
+  opts.max_iterations = 120;
+  const solver::ProxSolverResult res =
+      solver::minimize_projected(set, anchor, step.make_objective(), opts);
+
+  // Commit the fractional solution into persistent memory.
+  dec.x.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    dec.x[i] = clamp(res.x[i], 0.0, 1.0);
+    xfrac_[dec.ids[i]] = dec.x[i];
+  }
+  rho_ = clamp(res.x[k], 1.0, cfg_.rho_max);
+  dec.rho = rho_;
+  return dec;
+}
+
+void OnlineLearner::observe(const sim::EpochContext& ctx,
+                            const FractionalDecision& frac,
+                            const fl::EpochOutcome& outcome) {
+  // --- estimate updates -----------------------------------------------------
+  last_loss_ = outcome.train_loss_all;
+  const double iters =
+      std::max<double>(1.0, static_cast<double>(outcome.num_iterations));
+  for (std::size_t i = 0; i < outcome.selected.size(); ++i) {
+    const std::size_t id = outcome.selected[i];
+    FEDL_CHECK_LT(id, num_clients_);
+    if (i < outcome.client_eta.size()) {
+      eta_est_[id] = (1.0 - cfg_.ema) * eta_est_[id] +
+                     cfg_.ema * outcome.client_eta[i];
+    }
+    if (i < outcome.client_loss_reduction.size()) {
+      // Marginal reduction is measured per DANE iteration; floor at zero so
+      // one noisy epoch can't turn a client's estimate negative forever.
+      const double per_iter =
+          positive_part(outcome.client_loss_reduction[i]) / iters;
+      delta_est_[id] =
+          (1.0 - cfg_.ema) * delta_est_[id] + cfg_.ema * per_iter;
+    }
+  }
+
+  // --- dual ascent (9): μ ← [μ + δ h_t(Φ̃_t)]+ -------------------------------
+  // h^0 is observed directly; h^k uses the realized η of selected clients and
+  // the current estimate for unselected ones.
+  const double rho = frac.rho;
+  std::vector<double> h(num_clients_ + 1, 0.0);
+  h[0] = outcome.train_loss_all - cfg_.theta;
+
+  std::vector<double> eta_obs(num_clients_, -1.0);
+  for (std::size_t i = 0; i < outcome.selected.size(); ++i)
+    if (i < outcome.client_eta.size())
+      eta_obs[outcome.selected[i]] = outcome.client_eta[i];
+
+  for (std::size_t i = 0; i < frac.ids.size(); ++i) {
+    const std::size_t id = frac.ids[i];
+    const double eta =
+        eta_obs[id] >= 0.0 ? eta_obs[id] : eta_est_[id];
+    h[1 + id] = eta * frac.x[i] * rho - rho + 1.0;
+  }
+  (void)ctx;
+
+  mu_[0] = clamp(positive_part(mu_[0] + cfg_.delta * h[0]), 0.0, cfg_.mu_max);
+  for (std::size_t id = 0; id < num_clients_; ++id) {
+    mu_[1 + id] = clamp(positive_part(mu_[1 + id] + cfg_.delta * h[1 + id]),
+                        0.0, cfg_.mu_max);
+  }
+
+  FEDL_DEBUG << "learner: mu0=" << mu_[0] << " rho=" << rho_
+             << " L=" << last_loss_;
+}
+
+}  // namespace fedl::core

@@ -1,0 +1,95 @@
+// The online learning algorithm of FedL (§4.3): fractional decisions by
+// alternating a modified proximal descent step (8) on the primal Φ̃ and a
+// dual ascent step (9) on the Lagrange multipliers μ.
+//
+// Decision variables per epoch: Φ̃ = [x̃_{k∈E_t}, ρ], ρ = 1/(1−η_t).
+// The learner keeps persistent per-client state across epochs — fractional
+// memory x̃_k, estimated local convergence accuracy η̂_k, and estimated
+// per-iteration loss reduction Δ̂_k — which is exactly the "historic learning
+// results" FedL learns from.
+//
+// Constraint encoding for the descent step:
+//  * objective gradient ∇f_t: ∂/∂x̃_k = ρ·(τ^loc_k + τ^cm_k),
+//    ∂/∂ρ = Σ_k x̃_k (τ^loc_k + τ^cm_k);
+//  * h^0 (global convergence, (3d)) is linearized through the per-client
+//    marginal loss-reduction estimates:
+//      h^0(Φ) = L̂ − (ρ/n)·Σ_k x̃_k Δ̂_k − θ
+//    where L̂ is the last observed global loss (the observable surrogate of
+//    F_t(w^{l_t}) at decision time);
+//  * h^k (local convergence, (3c)) uses the paper's bilinear form with the
+//    learned per-client accuracy: h^k(Φ) = η̂_k·x̃_k·ρ − ρ + 1;
+//  * feasible set: x̃ ∈ [0,1]^{E_t}, ρ ∈ [1, ρ_max], Σ c_k x̃_k ≤ cap_t
+//    (budget pacing within (5a)), Σ x̃_k ≥ n (5b).
+//
+// Timing note: rent prices c_{t,k} and latency estimates are posted at the
+// start of the epoch (they are part of the observation), while everything
+// that depends on the training itself (w, d, η, losses) is revealed only
+// after the decision — matching the paper's list of post-decision inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/budget.h"
+#include "fl/engine.h"
+#include "sim/environment.h"
+
+namespace fedl::core {
+
+struct LearnerConfig {
+  // Step sizes; Corollary 1 prescribes β = δ = O(T_C^{-1/3}), which is ≈0.3
+  // for the horizons induced by the evaluation budgets (T_C ≈ 20–60).
+  double beta = 0.2;   // primal proximal step size β
+  double delta = 0.5;  // dual ascent step size δ
+  double theta = 0.5;    // desired upper bound θ of the global loss (3d)
+  std::size_t n_min = 5;  // minimum participants per epoch (3b)
+  double rho_max = 8.0;   // cap on ρ (bounds l_t; Assumption 1's radius R)
+  double pacing = 1.5;    // per-epoch spend cap = pacing · n · mean cost
+  double mu_max = 100.0;  // dual clip, numerical guard for ‖μ̂‖ of Lemma 2
+  double ema = 0.3;       // smoothing for η̂ and Δ̂ estimates
+  double init_eta = 0.5;  // prior local accuracy for unseen clients
+  double init_delta_est = 0.1;  // optimistic prior per-iteration loss drop
+  double init_loss = 2.303;     // ln(10): loss of a random 10-class model
+};
+
+// Fractional decision for one epoch, aligned with ctx.available.
+struct FractionalDecision {
+  std::vector<std::size_t> ids;  // available client ids
+  std::vector<double> x;         // x̃_{t,k} ∈ [0,1]
+  double rho = 1.0;              // ρ_t ≥ 1
+};
+
+class OnlineLearner {
+ public:
+  OnlineLearner(std::size_t num_clients, LearnerConfig cfg);
+
+  // Primal descent (8): produce the fractional decision for this epoch from
+  // the stored anchor Φ̃_t, the current duals μ, and the epoch observation.
+  FractionalDecision decide(const sim::EpochContext& ctx,
+                            const BudgetLedger& budget);
+
+  // Dual ascent (9) plus estimate updates from the realized epoch.
+  void observe(const sim::EpochContext& ctx, const FractionalDecision& frac,
+               const fl::EpochOutcome& outcome);
+
+  // Introspection for tests/benches.
+  const std::vector<double>& mu() const { return mu_; }
+  double rho() const { return rho_; }
+  double x_fraction(std::size_t client) const;
+  double eta_estimate(std::size_t client) const;
+  double delta_estimate(std::size_t client) const;
+  const LearnerConfig& config() const { return cfg_; }
+
+ private:
+  LearnerConfig cfg_;
+  std::size_t num_clients_;
+  std::vector<double> xfrac_;      // persistent fractional memory
+  double rho_;
+  std::vector<double> mu_;         // [μ^0, μ^1..μ^M]
+  std::vector<double> eta_est_;    // η̂_k
+  std::vector<double> delta_est_;  // Δ̂_k (per-iteration loss reduction)
+  double last_loss_;               // L̂ = F_t(w^{l_t}) of the last epoch
+};
+
+}  // namespace fedl::core

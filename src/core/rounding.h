@@ -1,0 +1,27 @@
+// Randomized rounding of fractional selections (Algorithm 2, RDCS).
+//
+// Dependent rounding pairs two fractional coordinates and shifts probability
+// mass between them so that (i) the sum Σ x̃ is preserved up to one residual
+// fractional coordinate, (ii) every coordinate becomes integral, and
+// (iii) E[x_k] = x̃_k exactly (Theorem 3). Independent rounding — each
+// coordinate rounded on its own — is provided for the A1 ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fedl::core {
+
+// Dependent rounding (RDCS). Input fractions must lie in [0, 1]. The
+// returned vector contains only 0s and 1s. The pairing loop runs until at
+// most one coordinate remains fractional; the residual (if any) is rounded
+// up with probability equal to its value, preserving marginals.
+std::vector<int> rdcs_round(const std::vector<double>& fractions, Rng& rng);
+
+// Independent per-coordinate rounding: 1 with probability x̃_k.
+std::vector<int> independent_round(const std::vector<double>& fractions,
+                                   Rng& rng);
+
+}  // namespace fedl::core

@@ -1,0 +1,41 @@
+// Abstract client-selection strategy — the interface FedL and every baseline
+// implement, and the harness drives.
+//
+// Contract per epoch t:
+//  1. decide() is called with the epoch's observation (availability, costs,
+//     data volumes, latency estimates) and the budget ledger. The strategy
+//     may select only available clients and should respect the remaining
+//     budget (the runner stops once the ledger is exhausted, mirroring
+//     Algorithm 1's `while C ≥ 0`).
+//  2. The engine trains with the returned decision.
+//  3. observe() delivers the realized outcome (losses, η, latencies) —
+//     the 0-lookahead feedback loop.
+#pragma once
+
+#include <string>
+
+#include "core/budget.h"
+#include "core/types.h"
+#include "fl/engine.h"
+#include "sim/environment.h"
+
+namespace fedl::core {
+
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  virtual Decision decide(const sim::EpochContext& ctx,
+                          const BudgetLedger& budget) = 0;
+
+  virtual void observe(const sim::EpochContext& ctx, const Decision& decision,
+                       const fl::EpochOutcome& outcome) {
+    (void)ctx;
+    (void)decision;
+    (void)outcome;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fedl::core

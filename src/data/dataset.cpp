@@ -1,0 +1,68 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fedl::data {
+
+Dataset::Dataset(Tensor images, std::vector<std::uint8_t> labels,
+                 std::size_t num_classes)
+    : images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  FEDL_CHECK_GT(num_classes_, 0u);
+  FEDL_CHECK_EQ(images_.shape()[0], labels_.size());
+  for (std::uint8_t y : labels_)
+    FEDL_CHECK_LT(static_cast<std::size_t>(y), num_classes_);
+}
+
+Shape Dataset::sample_shape() const {
+  const Shape& s = images_.shape();
+  if (s.rank() == 2) return Shape{s[1]};
+  if (s.rank() == 4) return Shape{s[1], s[2], s[3]};
+  FEDL_CHECK(false) << "dataset images must be rank 2 or 4, got rank "
+                    << s.rank();
+  return {};
+}
+
+std::size_t Dataset::sample_numel() const {
+  return size() == 0 ? 0 : images_.numel() / size();
+}
+
+nn::Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  FEDL_CHECK(!indices.empty());
+  const std::size_t elems = sample_numel();
+  const Shape& s = images_.shape();
+
+  Shape batch_shape =
+      s.rank() == 2 ? Shape{indices.size(), s[1]}
+                    : Shape{indices.size(), s[1], s[2], s[3]};
+  nn::Batch batch;
+  batch.x = Tensor(batch_shape);
+  batch.y.resize(indices.size());
+  float* dst = batch.x.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    FEDL_CHECK_LT(idx, size());
+    std::memcpy(dst + i * elems, images_.data() + idx * elems,
+                elems * sizeof(float));
+    batch.y[i] = labels_[idx];
+  }
+  return batch;
+}
+
+nn::Batch Dataset::head(std::size_t limit) const {
+  const std::size_t n = (limit == 0) ? size() : std::min(limit, size());
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return gather(idx);
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::size_t cls) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (labels_[i] == cls) out.push_back(i);
+  return out;
+}
+
+}  // namespace fedl::data

@@ -1,0 +1,47 @@
+// In-memory labeled dataset with index-based views.
+//
+// Clients never copy the raw pool; they hold index lists into a shared
+// Dataset (mirroring the FL premise that data stays on the device — here the
+// "device" owns indices into the simulation's sample pool).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace fedl::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  // images: [N, ...]; labels: N entries.
+  Dataset(Tensor images, std::vector<std::uint8_t> labels,
+          std::size_t num_classes);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+  const Tensor& images() const { return images_; }
+  const std::vector<std::uint8_t>& labels() const { return labels_; }
+
+  // Shape of one sample (batch dim stripped).
+  Shape sample_shape() const;
+  std::size_t sample_numel() const;
+
+  // Materialize a batch from sample indices (bounds-checked).
+  nn::Batch gather(const std::vector<std::size_t>& indices) const;
+
+  // Batch over the first `limit` samples (the whole set when limit==0).
+  nn::Batch head(std::size_t limit = 0) const;
+
+  // Indices of every sample with the given label.
+  std::vector<std::size_t> indices_of_class(std::size_t cls) const;
+
+ private:
+  Tensor images_;
+  std::vector<std::uint8_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace fedl::data

@@ -1,0 +1,118 @@
+#include "data/idx_loader.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace fedl::data {
+namespace {
+
+constexpr std::uint32_t kLabelMagic = 0x00000801;
+constexpr std::uint32_t kImageMagic = 0x00000803;
+
+std::uint32_t read_be32(std::istream& in, const std::string& path) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  if (!in) throw ConfigError("truncated IDX header in " + path);
+  return (static_cast<std::uint32_t>(buf[0]) << 24) |
+         (static_cast<std::uint32_t>(buf[1]) << 16) |
+         (static_cast<std::uint32_t>(buf[2]) << 8) |
+         static_cast<std::uint32_t>(buf[3]);
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char buf[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path,
+                 const std::string& labels_path, std::size_t num_classes,
+                 std::size_t limit) {
+  std::ifstream img(images_path, std::ios::binary);
+  if (!img) throw ConfigError("cannot open IDX images: " + images_path);
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!lab) throw ConfigError("cannot open IDX labels: " + labels_path);
+
+  if (read_be32(img, images_path) != kImageMagic)
+    throw ConfigError("bad image magic in " + images_path);
+  const std::size_t n_img = read_be32(img, images_path);
+  const std::size_t rows = read_be32(img, images_path);
+  const std::size_t cols = read_be32(img, images_path);
+
+  if (read_be32(lab, labels_path) != kLabelMagic)
+    throw ConfigError("bad label magic in " + labels_path);
+  const std::size_t n_lab = read_be32(lab, labels_path);
+  if (n_img != n_lab)
+    throw ConfigError("IDX image/label count mismatch: " +
+                      std::to_string(n_img) + " vs " + std::to_string(n_lab));
+  if (n_img == 0 || rows == 0 || cols == 0)
+    throw ConfigError("empty IDX dataset: " + images_path);
+
+  const std::size_t n =
+      (limit > 0) ? std::min<std::size_t>(limit, n_img) : n_img;
+
+  Tensor images(Shape{n, 1, rows, cols});
+  std::vector<unsigned char> row(rows * cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    img.read(reinterpret_cast<char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+    if (!img) throw ConfigError("truncated IDX image data in " + images_path);
+    float* dst = images.data() + i * rows * cols;
+    for (std::size_t p = 0; p < row.size(); ++p)
+      dst[p] = static_cast<float>(row[p]) / 255.0f;
+  }
+
+  std::vector<std::uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    char y;
+    lab.read(&y, 1);
+    if (!lab) throw ConfigError("truncated IDX label data in " + labels_path);
+    labels[i] = static_cast<std::uint8_t>(y);
+    if (labels[i] >= num_classes)
+      throw ConfigError("IDX label " + std::to_string(labels[i]) +
+                        " out of range in " + labels_path);
+  }
+  return Dataset(std::move(images), std::move(labels), num_classes);
+}
+
+void save_idx(const Dataset& ds, const std::string& images_path,
+              const std::string& labels_path) {
+  const Shape shape = ds.sample_shape();
+  FEDL_CHECK_EQ(shape.dim_or_1(0), 1u) << "IDX export supports 1 channel";
+  const std::size_t rows = shape.dim_or_1(1);
+  const std::size_t cols = shape.dim_or_1(2);
+
+  std::ofstream img(images_path, std::ios::binary);
+  if (!img) throw ConfigError("cannot write IDX images: " + images_path);
+  write_be32(img, kImageMagic);
+  write_be32(img, static_cast<std::uint32_t>(ds.size()));
+  write_be32(img, static_cast<std::uint32_t>(rows));
+  write_be32(img, static_cast<std::uint32_t>(cols));
+  const std::size_t elems = rows * cols;
+  std::vector<unsigned char> row(elems);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const float* src = ds.images().data() + i * elems;
+    for (std::size_t p = 0; p < elems; ++p)
+      row[p] = static_cast<unsigned char>(clamp(src[p], 0.0, 1.0) * 255.0 + 0.5);
+    img.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+
+  std::ofstream lab(labels_path, std::ios::binary);
+  if (!lab) throw ConfigError("cannot write IDX labels: " + labels_path);
+  write_be32(lab, kLabelMagic);
+  write_be32(lab, static_cast<std::uint32_t>(ds.size()));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const char y = static_cast<char>(ds.labels()[i]);
+    lab.write(&y, 1);
+  }
+}
+
+}  // namespace fedl::data

@@ -1,0 +1,57 @@
+// Time-varying client data: "all data are then transformed into online data
+// followed by Poisson distribution" (paper §6.1).
+//
+// Each client owns a static partition of the pool; in epoch t it *holds*
+// D_{t,k} ~ Poisson(mean rate) samples drawn as a sliding window over its
+// partition. Window sliding models drifting user interests (the paper's news
+// recommendation motivation): consecutive epochs see overlapping but shifting
+// subsets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/partition.h"
+
+namespace fedl::data {
+
+struct OnlineDataSpec {
+  // Mean of the per-epoch Poisson sample count, as a fraction of the
+  // client's partition size.
+  double poisson_mean_frac = 0.5;
+  // Minimum samples a client reports when available (a client with zero
+  // local data cannot train).
+  std::size_t min_samples = 4;
+  // Fraction of the window that shifts every epoch.
+  double drift_frac = 0.2;
+  std::uint64_t seed = 7;
+};
+
+// Per-client online sample stream over a fixed partition.
+class OnlineDataStream {
+ public:
+  OnlineDataStream(Partition partition, OnlineDataSpec spec);
+
+  std::size_t num_clients() const { return partition_.size(); }
+
+  // Advance to the next epoch: draws every client's D_{t,k} and window
+  // offset. Must be called once per epoch before epoch_indices().
+  void advance_epoch();
+
+  // Indices (into the shared Dataset) the client holds in the current epoch.
+  // Empty when the client's partition is empty.
+  const std::vector<std::size_t>& epoch_indices(std::size_t client) const;
+
+  // D_{t,k} for the current epoch.
+  std::size_t epoch_size(std::size_t client) const;
+
+ private:
+  Partition partition_;
+  OnlineDataSpec spec_;
+  Rng rng_;
+  std::vector<std::size_t> window_start_;
+  std::vector<std::vector<std::size_t>> current_;
+};
+
+}  // namespace fedl::data

@@ -1,0 +1,51 @@
+// Synthetic stand-ins for Fashion-MNIST and CIFAR-10.
+//
+// This environment has no dataset files or network access, so we generate
+// 10-class image datasets with the same tensor shapes and a controllable
+// difficulty (DESIGN.md §5, substitution 1). Each class has a structured
+// prototype — a superposition of class-specific 2-D sinusoids plus a class
+// blob — and samples are prototype + white noise + optional label noise.
+// The "CIFAR-like" preset uses higher noise and more overlapping prototypes
+// so it is the harder task, matching the relative difficulty in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fedl {
+class Rng;
+}
+
+namespace fedl::data {
+
+struct SyntheticSpec {
+  std::size_t num_samples = 2000;
+  std::size_t image_h = 28;
+  std::size_t image_w = 28;
+  std::size_t channels = 1;
+  std::size_t num_classes = 10;
+  double noise_stddev = 0.35;       // per-pixel Gaussian noise
+  double signal_scale = 1.0;        // multiplier on the class prototype
+  double prototype_overlap = 0.0;   // 0 = well separated, 1 = heavy overlap
+  double label_noise = 0.0;         // fraction of mislabeled samples
+  std::uint64_t seed = 1;
+};
+
+// Presets matching the paper's two tasks.
+SyntheticSpec fmnist_like_spec(std::size_t num_samples, std::uint64_t seed);
+SyntheticSpec cifar_like_spec(std::size_t num_samples, std::uint64_t seed);
+
+// Generate a dataset from the spec; deterministic in spec.seed.
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+// Paired train/test split drawn from the same class prototypes (the test set
+// uses an independent noise stream so accuracy measures generalization).
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest make_synthetic_train_test(const SyntheticSpec& spec,
+                                    std::size_t test_samples);
+
+}  // namespace fedl::data

@@ -1,0 +1,213 @@
+#include "fl/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace fedl::fl {
+
+FlEngine::FlEngine(const data::Dataset* train, const data::Dataset* test,
+                   sim::EdgeEnvironment* env, nn::Model model,
+                   EngineConfig cfg)
+    : train_(train),
+      test_(test),
+      env_(env),
+      model_(std::move(model)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  FEDL_CHECK(train != nullptr);
+  FEDL_CHECK(test != nullptr);
+  FEDL_CHECK(env != nullptr);
+  FEDL_CHECK_GT(cfg_.batch_cap, 0u);
+  FEDL_CHECK_GT(cfg_.eval_cap, 0u);
+  w_ = model_.params_flat();
+  test_batch_ = test_->head(cfg_.eval_cap);
+  compressor_ = compress::make_compressor(cfg_.compressor,
+                                          env_->num_clients(), cfg_.seed ^ 0x5eedULL);
+}
+
+void FlEngine::set_global_params(nn::ParamVec w) {
+  FEDL_CHECK_EQ(w.size(), w_.size());
+  w_ = std::move(w);
+}
+
+nn::Batch FlEngine::client_batch(std::size_t client) {
+  const auto& indices = env_->client_data(client);
+  FEDL_CHECK(!indices.empty()) << "client " << client << " has no epoch data";
+  if (indices.size() <= cfg_.batch_cap) return train_->gather(indices);
+  auto pick = rng_.sample_without_replacement(indices.size(), cfg_.batch_cap);
+  std::vector<std::size_t> chosen(pick.size());
+  for (std::size_t i = 0; i < pick.size(); ++i) chosen[i] = indices[pick[i]];
+  return train_->gather(chosen);
+}
+
+double FlEngine::loss_on_indices(const std::vector<std::size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  std::vector<std::size_t> capped = indices;
+  if (capped.size() > cfg_.eval_cap) {
+    auto pick = rng_.sample_without_replacement(capped.size(), cfg_.eval_cap);
+    std::vector<std::size_t> chosen(pick.size());
+    for (std::size_t i = 0; i < pick.size(); ++i) chosen[i] = capped[pick[i]];
+    capped = std::move(chosen);
+  }
+  model_.set_params_flat(w_);
+  return model_.evaluate(train_->gather(capped)).loss;
+}
+
+nn::EvalResult FlEngine::evaluate_test() {
+  model_.set_params_flat(w_);
+  return model_.evaluate(test_batch_);
+}
+
+EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
+                                 std::size_t iterations) {
+  const sim::EpochContext& ctx = env_->context();
+  EpochOutcome out;
+  out.epoch = ctx.epoch;
+  out.selected = selected;
+  out.num_iterations = selected.empty() ? 0 : iterations;
+
+  const std::size_t p = w_.size();
+  const std::size_t s = selected.size();
+
+  if (s > 0) {
+    FEDL_CHECK_GT(iterations, 0u);
+    // One minibatch per client per epoch; the data a client holds is fixed
+    // within the epoch (paper: D_{t,k} is per-epoch).
+    std::vector<nn::Batch> batches;
+    batches.reserve(s);
+    std::vector<double> weights(s);  // ϑ_k ∝ D_{t,k}
+    double total_data = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t k = selected[i];
+      const auto* obs = ctx.find(k);
+      FEDL_CHECK(obs != nullptr) << "selected client " << k
+                                 << " is not available in epoch " << ctx.epoch;
+      batches.push_back(client_batch(k));
+      weights[i] = static_cast<double>(obs->data_size);
+      total_data += weights[i];
+    }
+    for (auto& wgt : weights) wgt /= total_data;
+
+    out.client_eta.assign(s, 0.0);
+    out.client_loss_reduction.assign(s, 0.0);
+
+    std::vector<double> payload_bits(s, 0.0);  // last iteration's uplink size
+
+    // Fault injection: a failing client dies before completing iteration
+    // drop_iter[i] (== iterations means it survives the epoch).
+    std::vector<std::size_t> drop_iter(s, iterations);
+    if (cfg_.faults.dropout_prob > 0.0) {
+      for (std::size_t i = 0; i < s; ++i) {
+        if (rng_.bernoulli(cfg_.faults.dropout_prob)) {
+          drop_iter[i] = static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(iterations) - 1));
+          ++out.num_dropped;
+        }
+      }
+    }
+    auto alive = [&](std::size_t i, std::size_t it) {
+      return it < drop_iter[i];
+    };
+
+    nn::ParamVec global_grad;  // ḡ from the previous phase (empty: bootstrap)
+    for (std::size_t it = 0; it < iterations; ++it) {
+      // Phase 1 (server): aggregate ∇F_k(w) into ḡ = Σ ϑ_k ∇F_k(w) over the
+      // clients still alive this iteration (weights renormalized).
+      double alive_weight = 0.0;
+      std::size_t alive_count = 0;
+      for (std::size_t i = 0; i < s; ++i) {
+        if (!alive(i, it)) continue;
+        alive_weight += weights[i];
+        ++alive_count;
+      }
+      if (alive_count == 0) break;  // every participant failed: epoch ends
+
+      nn::ParamVec gbar(p, 0.0f);
+      for (std::size_t i = 0; i < s; ++i) {
+        if (!alive(i, it)) continue;
+        LocalOracle oracle(&model_, &batches[i]);
+        nn::ParamVec g;
+        oracle.loss_grad(w_, &g);
+        axpy(static_cast<float>(weights[i] / alive_weight), g, gbar);
+      }
+      global_grad = std::move(gbar);
+
+      // Phase 2 (clients): DANE corrections, compressed for the uplink.
+      nn::ParamVec agg(p, 0.0f);
+      for (std::size_t i = 0; i < s; ++i) {
+        if (!alive(i, it)) continue;
+        LocalOracle oracle(&model_, &batches[i]);
+        LocalUpdate upd =
+            dane_local_step(oracle, w_, global_grad, cfg_.dane);
+        out.client_eta[i] = std::max(out.client_eta[i], upd.eta);
+        out.client_loss_reduction[i] = upd.loss_before - upd.loss_after;
+        const compress::CompressedUpdate cu =
+            compressor_->apply(upd.d, selected[i]);
+        payload_bits[i] = cu.payload_bits;
+        axpy(1.0f, cu.restored, agg);
+      }
+
+      // Phase 3 (server): aggregate the corrections into the global model.
+      const double denom =
+          cfg_.aggregation == AggregationRule::kPaperMean
+              ? static_cast<double>(ctx.available.size())
+              : static_cast<double>(alive_count);
+      axpy(static_cast<float>(1.0 / denom), agg, w_);
+    }
+    for (double e : out.client_eta) out.eta_max = std::max(out.eta_max, e);
+
+    // Latency & cost from the analytical model; uplink times come from the
+    // environment's configured FDMA bandwidth policy. Without compression
+    // the paper's constant payload s applies; with compression each client
+    // uploads its (smaller) compressed payload.
+    out.client_latency_s.assign(s, 0.0);
+    if (cfg_.compressor != "none") {
+      // A client that died before ever uploading still sent a header.
+      for (auto& b : payload_bits)
+        if (b <= 0.0) b = 64.0;
+    }
+    const std::vector<double> upload =
+        cfg_.compressor == "none"
+            ? env_->realized_upload_times(selected)
+            : env_->realized_upload_times(selected, payload_bits);
+    double max_latency = 0.0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t k = selected[i];
+      const auto* obs = ctx.find(k);
+      const double per_iter = obs->tau_loc + upload[i];
+      out.client_latency_s[i] = static_cast<double>(iterations) * per_iter;
+      // A failed client costs a timeout: the server waited past its nominal
+      // finish time before declaring it dead.
+      if (drop_iter[i] < iterations)
+        out.client_latency_s[i] *= cfg_.faults.timeout_multiplier;
+      max_latency = std::max(max_latency, out.client_latency_s[i]);
+      out.cost += obs->cost;
+    }
+    out.latency_s = max_latency;
+  }
+
+  // Evaluation at the end-of-epoch model.
+  std::vector<std::size_t> selected_data;
+  std::vector<std::size_t> all_data;
+  for (const auto& obs : ctx.available) {
+    const auto& idx = env_->client_data(obs.id);
+    all_data.insert(all_data.end(), idx.begin(), idx.end());
+    if (std::find(selected.begin(), selected.end(), obs.id) != selected.end())
+      selected_data.insert(selected_data.end(), idx.begin(), idx.end());
+  }
+  out.train_loss_selected = loss_on_indices(selected_data);
+  out.train_loss_all = loss_on_indices(all_data);
+  const nn::EvalResult test = evaluate_test();
+  out.test_loss = test.loss;
+  out.test_accuracy = test.accuracy;
+
+  FEDL_DEBUG << "epoch " << out.epoch << " |S|=" << s << " iters="
+             << out.num_iterations << " latency=" << out.latency_s
+             << "s cost=" << out.cost << " loss=" << out.train_loss_all
+             << " acc=" << out.test_accuracy;
+  return out;
+}
+
+}  // namespace fedl::fl

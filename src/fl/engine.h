@@ -1,0 +1,107 @@
+// The federated training engine — Algorithm 1's inner loop (lines 2–5).
+//
+// Given a committed selection and iteration count for the current epoch, the
+// engine runs the DANE iterations, aggregates on the server, accounts the
+// modeled latency (paper §3.2 — the simulated clock, see DESIGN.md
+// substitution 4) and measures everything the online learner needs as
+// feedback: realized η_{t,k}, per-client marginal loss reductions, global
+// loss F_t(w^{l_t}), test accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "data/dataset.h"
+#include "fl/dane.h"
+#include "nn/model.h"
+#include "sim/environment.h"
+
+namespace fedl::fl {
+
+enum class AggregationRule {
+  // w += (1/|E_t|) Σ_k x_k d_k — the paper's formula verbatim.
+  kPaperMean,
+  // w += (1/|S_t|) Σ_{k∈S} d_k — normalize by the number of participants;
+  // the standard FedAvg-style mean (default; see DESIGN.md §4).
+  kSelectedMean,
+};
+
+// Mid-epoch client failure model (challenge 1's availability uncertainty,
+// extended into the epoch itself): a selected client may die before
+// finishing its iterations. Its partial updates up to the failure iteration
+// are aggregated; afterwards it contributes nothing, but the server still
+// pays a timeout on the latency accounting (it waited before giving up).
+struct FaultSpec {
+  double dropout_prob = 0.0;       // per selected client per epoch
+  double timeout_multiplier = 1.5;  // waiting cost relative to nominal latency
+};
+
+struct EngineConfig {
+  DaneConfig dane;
+  AggregationRule aggregation = AggregationRule::kSelectedMean;
+  FaultSpec faults;
+  std::size_t batch_cap = 64;   // max samples per client minibatch
+  std::size_t eval_cap = 512;   // max samples for loss/accuracy evaluation
+  // Uplink update compression ("none", "quant8", "quant4", "topk10",
+  // "topk1"); "none" reproduces the paper's constant payload s.
+  std::string compressor = "none";
+  std::uint64_t seed = 17;
+};
+
+struct EpochOutcome {
+  std::size_t epoch = 0;
+  std::vector<std::size_t> selected;
+  std::size_t num_iterations = 0;
+  double latency_s = 0.0;  // l_t · max_{k∈S}(τ^loc + τ^cm)
+  double cost = 0.0;       // Σ_{k∈S} c_{t,k}
+  double eta_max = 0.0;    // η_t = max_{k,i} η^i_{t,k}
+  // Parallel to `selected`:
+  std::vector<double> client_eta;             // max over iterations per client
+  std::vector<double> client_loss_reduction;  // F_k(w)−F_k(w+d), last iter
+  std::vector<double> client_latency_s;       // d_k(t) realized
+  double train_loss_selected = 0.0;  // F̃_t(w^{l_t})
+  double train_loss_all = 0.0;       // F_t(w^{l_t})
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+  std::size_t num_dropped = 0;  // selected clients that failed mid-epoch
+};
+
+class FlEngine {
+ public:
+  // `train`/`test` outlive the engine; `env` supplies epoch context and must
+  // have been advanced for the epoch being run.
+  FlEngine(const data::Dataset* train, const data::Dataset* test,
+           sim::EdgeEnvironment* env, nn::Model model, EngineConfig cfg);
+
+  // Runs `iterations` DANE rounds with `selected` (client ids, all available
+  // in the current context). Empty selection is a no-op epoch that still
+  // evaluates the model.
+  EpochOutcome run_epoch(const std::vector<std::size_t>& selected,
+                         std::size_t iterations);
+
+  const nn::ParamVec& global_params() const { return w_; }
+  void set_global_params(nn::ParamVec w);
+  std::size_t num_params() const { return w_.size(); }
+
+  // F(w) over (a cap of) the given sample indices at the current w.
+  double loss_on_indices(const std::vector<std::size_t>& indices);
+
+  // Loss/accuracy on the test set (capped at eval_cap samples).
+  nn::EvalResult evaluate_test();
+
+ private:
+  nn::Batch client_batch(std::size_t client);
+
+  const data::Dataset* train_;
+  const data::Dataset* test_;
+  sim::EdgeEnvironment* env_;
+  nn::Model model_;  // scratch model, parameters swapped per evaluation
+  EngineConfig cfg_;
+  nn::ParamVec w_;   // global model
+  Rng rng_;
+  nn::Batch test_batch_;  // cached eval subset
+  compress::CompressorPtr compressor_;
+};
+
+}  // namespace fedl::fl

@@ -1,0 +1,221 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/ucb_strategy.h"
+#include "data/partition.h"
+#include "nn/factory.h"
+#include "nn/serialize.h"
+
+namespace fedl::harness {
+namespace {
+
+data::SyntheticSpec dataset_spec(const ScenarioConfig& cfg) {
+  data::SyntheticSpec s =
+      cfg.task == Task::kFmnistLike
+          ? data::fmnist_like_spec(cfg.train_samples, cfg.seed)
+          : data::cifar_like_spec(cfg.train_samples, cfg.seed);
+  return s;
+}
+
+}  // namespace
+
+Experiment::Experiment(ScenarioConfig cfg) : cfg_(cfg) {
+  FEDL_CHECK_GT(cfg_.num_clients, 0u);
+  FEDL_CHECK_GE(cfg_.num_clients, cfg_.n_min);
+  data_ = data::make_synthetic_train_test(dataset_spec(cfg_),
+                                          cfg_.test_samples);
+  Rng prng(cfg_.seed ^ 0x9e3779b9ULL);
+  partition_ =
+      cfg_.iid ? data::partition_iid(data_.train, cfg_.num_clients, prng)
+               : data::partition_noniid_principal(data_.train,
+                                                  cfg_.num_clients,
+                                                  /*principal_classes=*/2,
+                                                  /*principal_frac=*/0.8,
+                                                  prng);
+}
+
+sim::EnvironmentSpec Experiment::environment_spec() const {
+  sim::EnvironmentSpec env;
+  env.num_clients = cfg_.num_clients;
+  env.expected_participants = std::max<std::size_t>(1, cfg_.n_min);
+  env.device.availability_prob = cfg_.availability;
+  env.device.seed = cfg_.seed * 31 + 7;
+  env.channel.seed = cfg_.seed * 37 + 11;
+  env.online.seed = cfg_.seed * 41 + 13;
+  const data::Dataset& tr = data_.train;
+  env.device.bits_per_sample =
+      static_cast<double>(tr.sample_numel()) * 32.0;
+  env.bandwidth = cfg_.bandwidth;
+  return env;
+}
+
+nn::Model Experiment::build_model() const {
+  Rng mrng(cfg_.seed * 43 + 17);
+  nn::ModelSpec ms;
+  ms.width_scale = cfg_.width_scale;
+  ms.l2_reg = cfg_.dane.gamma;
+  if (cfg_.task == Task::kFmnistLike) {
+    ms.image_h = ms.image_w = 28;
+    ms.channels = 1;
+    return nn::make_fmnist_cnn(ms, mrng);
+  }
+  ms.image_h = ms.image_w = 32;
+  ms.channels = 3;
+  return nn::make_cifar_cnn(ms, mrng);
+}
+
+RunResult Experiment::run(core::SelectionStrategy& strategy) {
+  // Fresh, seed-identical world per run.
+  sim::EdgeEnvironment env(environment_spec(), partition_);
+  fl::EngineConfig ec;
+  ec.dane = cfg_.dane;
+  ec.aggregation = cfg_.aggregation;
+  ec.compressor = cfg_.compressor;
+  ec.faults = cfg_.faults;
+  ec.batch_cap = cfg_.batch_cap;
+  ec.eval_cap = cfg_.eval_cap;
+  ec.seed = cfg_.seed * 47 + 19;
+  fl::FlEngine engine(&data_.train, &data_.test, &env, build_model(), ec);
+
+  if (!cfg_.checkpoint_path.empty()) {
+    std::ifstream probe(cfg_.checkpoint_path);
+    if (probe.good()) {
+      engine.set_global_params(nn::load_params(cfg_.checkpoint_path));
+      FEDL_INFO << "resumed global model from " << cfg_.checkpoint_path;
+    }
+  }
+
+  core::BudgetLedger ledger(cfg_.budget);
+  core::RegretConfig rc;
+  rc.theta = cfg_.theta;
+  rc.n_min = cfg_.n_min;
+  RunResult result{fl::TrainTrace{strategy.name(), {}},
+                   core::RegretTracker(cfg_.num_clients, rc), 0, false};
+
+  std::size_t cumulative_rounds = 0;
+  double cumulative_time = 0.0;
+  // Once the remainder cannot rent even the cheapest possible client, the FL
+  // procedure is over (Algorithm 1's `while C ≥ 0` with no affordable rent).
+  const double min_rent = environment_spec().device.cost_lo;
+
+  for (std::size_t t = 0; t < cfg_.max_epochs; ++t) {
+    if (ledger.exhausted() || ledger.remaining() < min_rent) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const sim::EpochContext& ctx = env.advance_epoch();
+
+    // Constraint (3b) requires at least n participants per epoch; when the
+    // remaining budget cannot rent even the n cheapest available clients,
+    // the FL procedure is infeasible and terminates.
+    if (!ctx.available.empty()) {
+      std::vector<double> costs;
+      costs.reserve(ctx.available.size());
+      for (const auto& o : ctx.available) costs.push_back(o.cost);
+      std::sort(costs.begin(), costs.end());
+      const std::size_t need = std::min<std::size_t>(cfg_.n_min, costs.size());
+      double cheapest_n = 0.0;
+      for (std::size_t i = 0; i < need; ++i) cheapest_n += costs[i];
+      if (cheapest_n > ledger.remaining()) {
+        result.budget_exhausted = true;
+        break;
+      }
+    }
+
+    core::Decision decision = strategy.decide(ctx, ledger);
+
+    // Guard the strategy contract: selected clients must be available.
+    for (std::size_t id : decision.selected)
+      FEDL_CHECK(ctx.is_available(id))
+          << strategy.name() << " selected unavailable client " << id;
+
+    fl::EpochOutcome out =
+        engine.run_epoch(decision.selected, decision.num_iterations);
+    ledger.charge(out.cost);
+    strategy.observe(ctx, decision, out);
+
+    double rho = static_cast<double>(std::max<std::size_t>(
+        1, decision.num_iterations));
+    if (auto* fedl = dynamic_cast<core::FedLStrategy*>(&strategy))
+      rho = fedl->last_fraction().rho;
+    result.regret.record(ctx, ledger, decision, rho, out);
+
+    cumulative_rounds += out.num_iterations;
+    cumulative_time += out.latency_s;
+    fl::TraceRecord rec;
+    rec.epoch = ctx.epoch;
+    rec.round = cumulative_rounds;
+    rec.sim_time_s = cumulative_time;
+    rec.cost_spent = ledger.spent();
+    rec.train_loss = out.train_loss_all;
+    rec.test_loss = out.test_loss;
+    rec.test_accuracy = out.test_accuracy;
+    rec.num_selected = decision.selected.size();
+    rec.num_iterations = out.num_iterations;
+    rec.eta = out.eta_max;
+    result.trace.records.push_back(rec);
+    ++result.epochs_run;
+  }
+  if (ledger.exhausted()) result.budget_exhausted = true;
+  if (!cfg_.checkpoint_path.empty())
+    nn::save_params(engine.global_params(), cfg_.checkpoint_path);
+  FEDL_INFO << strategy.name() << ": " << result.epochs_run << " epochs, "
+            << "acc=" << result.trace.final_accuracy()
+            << " time=" << result.trace.total_time() << "s"
+            << " cost=" << result.trace.total_cost() << "/" << cfg_.budget;
+  return result;
+}
+
+std::unique_ptr<core::SelectionStrategy> make_strategy(
+    const std::string& name, const ScenarioConfig& cfg) {
+  core::BaselineConfig base;
+  base.n_select = cfg.n_min;
+  base.iterations = cfg.fixed_iterations;
+  base.seed = cfg.seed * 53 + 29;
+
+  if (name == "fedl" || name == "fedl-ind" || name == "fedl-fair") {
+    core::FedLConfig fc;
+    fc.learner.n_min = cfg.n_min;
+    fc.learner.theta = cfg.theta;
+    fc.l_max = std::max<std::size_t>(cfg.fixed_iterations * 2, 4);
+    fc.learner.rho_max = static_cast<double>(fc.l_max);
+    fc.independent_rounding = (name == "fedl-ind");
+    fc.fairness.enabled = (name == "fedl-fair");
+    fc.seed = cfg.seed * 61 + 37;
+    return std::make_unique<core::FedLStrategy>(cfg.num_clients, fc);
+  }
+  if (name == "ucb") {
+    core::UcbConfig uc;
+    uc.base = base;
+    return std::make_unique<core::UcbStrategy>(cfg.num_clients, uc);
+  }
+  if (name == "fedavg")
+    return std::make_unique<core::FedAvgStrategy>(base);
+  if (name == "fedcs") {
+    core::FedCsConfig fc;
+    fc.base = base;
+    // Generous deadline: FedCS admits "as many clients as possible".
+    fc.deadline_s = 400.0;
+    return std::make_unique<core::FedCsStrategy>(fc);
+  }
+  if (name == "powd") {
+    core::PowDConfig pc;
+    pc.base = base;
+    pc.d = std::min<std::size_t>(cfg.num_clients,
+                                 std::max<std::size_t>(2 * cfg.n_min, 8));
+    return std::make_unique<core::PowDStrategy>(cfg.num_clients, pc);
+  }
+  if (name == "oracle")
+    return std::make_unique<core::GreedyOracleStrategy>(base);
+  throw ConfigError("unknown strategy: " + name);
+}
+
+std::vector<std::string> paper_roster() {
+  return {"fedl", "fedcs", "fedavg", "powd"};
+}
+
+}  // namespace fedl::harness

@@ -1,0 +1,96 @@
+// Experiment harness: builds a full scenario (dataset → partition → edge
+// environment → engine) and runs one selection strategy through the FL
+// procedure of Algorithm 1, recording the training trace and regret/fit.
+//
+// All strategies compared in one scenario see identical randomness: the
+// environment, datasets and model initialization are rebuilt from the same
+// seeds for every run, so differences in the traces come from the selection
+// policy alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/fedl_strategy.h"
+#include "core/regret.h"
+#include "core/strategy.h"
+#include "data/synthetic.h"
+#include "fl/engine.h"
+#include "fl/trace.h"
+
+namespace fedl::harness {
+
+enum class Task { kFmnistLike, kCifarLike };
+
+struct ScenarioConfig {
+  Task task = Task::kFmnistLike;
+  bool iid = true;
+  std::size_t num_clients = 20;
+  std::size_t n_min = 4;
+  double budget = 600.0;
+  std::size_t max_epochs = 200;  // safety cap on top of the budget stop
+  std::size_t train_samples = 1500;
+  std::size_t test_samples = 400;
+  double width_scale = 0.25;   // model width (1.0 = exact paper CNN)
+  double availability = 0.8;
+  std::size_t batch_cap = 32;
+  std::size_t eval_cap = 256;
+  double theta = 0.5;          // θ: desired global-loss bound
+  std::size_t fixed_iterations = 3;  // l for the non-adaptive baselines
+  std::uint64_t seed = 1;
+  fl::DaneConfig dane;
+  // FDMA split across the committed participants (bandwidth ablation).
+  net::BandwidthPolicy bandwidth = net::BandwidthPolicy::kEqual;
+  // Uplink update compression ("none" = the paper's constant payload).
+  std::string compressor = "none";
+  // Mid-epoch client failure model (0 = no failures, the paper's setting).
+  fl::FaultSpec faults;
+  // Server aggregation rule (paper formula vs selected-mean; DESIGN.md §4).
+  fl::AggregationRule aggregation = fl::AggregationRule::kSelectedMean;
+  // When non-empty: load the global model from this checkpoint before the
+  // run (if the file exists) and save it there after the run — long budget
+  // sweeps survive interruption.
+  std::string checkpoint_path;
+};
+
+struct RunResult {
+  fl::TrainTrace trace;
+  core::RegretTracker regret;
+  std::size_t epochs_run = 0;
+  bool budget_exhausted = false;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ScenarioConfig cfg);
+
+  const ScenarioConfig& config() const { return cfg_; }
+  const data::Dataset& train() const { return data_.train; }
+  const data::Dataset& test() const { return data_.test; }
+
+  // Runs the FL procedure with the given strategy until the budget is
+  // exhausted or max_epochs is reached. Rebuilds environment/engine/model
+  // from the scenario seeds so repeated runs are identical inputs.
+  RunResult run(core::SelectionStrategy& strategy);
+
+ private:
+  sim::EnvironmentSpec environment_spec() const;
+  nn::Model build_model() const;
+
+  ScenarioConfig cfg_;
+  data::TrainTest data_;
+  data::Partition partition_;
+};
+
+// Strategy factory for the bench binaries. Names: "fedl", "fedavg",
+// "fedcs", "powd", "oracle", "ucb" (bandit baseline), "fedl-ind"
+// (independent-rounding ablation), "fedl-fair" (fairness extension).
+std::unique_ptr<core::SelectionStrategy> make_strategy(
+    const std::string& name, const ScenarioConfig& cfg);
+
+// The roster the paper compares (Figs. 2–7).
+std::vector<std::string> paper_roster();
+
+}  // namespace fedl::harness

@@ -1,0 +1,33 @@
+// Reporting helpers shared by the figure benches: CSV series blocks (one per
+// algorithm) for replotting, plus the in-text comparison tables the paper
+// quotes (accuracy after a fixed training time; completion time / rounds to
+// a target accuracy).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fl/trace.h"
+
+namespace fedl::harness {
+
+// Print "== Series: <figure> / <label>" followed by a CSV block with columns
+// epoch,round,time_s,cost,train_loss,test_loss,test_acc,selected,iters,eta.
+void print_trace_series(std::ostream& os, const std::string& figure,
+                        const std::string& label, const fl::TrainTrace& trace);
+
+// "== Table: accuracy after <t>s" — one row per trace.
+void print_accuracy_at_time_table(std::ostream& os, double time_s,
+                                  const std::vector<fl::TrainTrace>& traces);
+
+// "== Table: completion time to <acc>" — one row per trace, with the
+// relative saving of the first trace (FedL) versus the best other.
+void print_time_to_accuracy_table(std::ostream& os, double target_acc,
+                                  const std::vector<fl::TrainTrace>& traces);
+
+// "== Table: rounds to <acc>".
+void print_rounds_to_accuracy_table(std::ostream& os, double target_acc,
+                                    const std::vector<fl::TrainTrace>& traces);
+
+}  // namespace fedl::harness

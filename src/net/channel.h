@@ -1,0 +1,61 @@
+// Wireless uplink model from paper §3.2/§6.1.
+//
+//  * path loss: 128.1 + 37.6 log10(d) dB, d in km;
+//  * log-normal shadow fading with 8 dB standard deviation, redrawn each
+//    epoch (the time-varying communication status of challenge 1);
+//  * achievable rate: r = b log2(1 + h p / (N0 b)) with N0 = −174 dBm/Hz;
+//  * FDMA: participating clients share the cell bandwidth B = 20 MHz.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fedl::net {
+
+struct ChannelSpec {
+  double cell_radius_m = 500.0;
+  double bandwidth_hz = 20e6;          // B
+  double noise_dbm_per_hz = -174.0;    // N0
+  double shadow_stddev_db = 8.0;
+  double tx_power_dbm = 10.0;          // p_k (paper: 10 dB max transmit power)
+  std::uint64_t seed = 11;
+};
+
+// Free function building blocks (unit-tested against hand computations).
+double path_loss_db(double distance_m);
+// Shannon rate in bit/s for bandwidth b (Hz), channel gain h (linear),
+// transmit power p (W), noise density N0 (W/Hz).
+double shannon_rate(double bandwidth_hz, double gain, double power_w,
+                    double noise_w_per_hz);
+
+// Per-client channel with epoch-varying shadow fading.
+class ChannelModel {
+ public:
+  ChannelModel(std::size_t num_clients, const ChannelSpec& spec);
+
+  std::size_t num_clients() const { return distance_m_.size(); }
+  const ChannelSpec& spec() const { return spec_; }
+  double distance_m(std::size_t k) const { return distance_m_[k]; }
+
+  // Redraw shadow fading for all clients (call once per epoch).
+  void advance_epoch();
+
+  // Linear channel gain h_k for the current epoch.
+  double gain(std::size_t k) const;
+
+  // Uplink rate (bit/s) when client k is allocated `bandwidth_hz`.
+  double rate(std::size_t k, double bandwidth_hz) const;
+
+  // Uplink rate under an equal FDMA split of B across `num_sharing` clients.
+  double rate_equal_share(std::size_t k, std::size_t num_sharing) const;
+
+ private:
+  ChannelSpec spec_;
+  Rng rng_;
+  std::vector<double> distance_m_;
+  std::vector<double> shadow_db_;
+};
+
+}  // namespace fedl::net

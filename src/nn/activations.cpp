@@ -1,0 +1,41 @@
+#include "nn/activations.h"
+
+#include "tensor/ops.h"
+
+namespace fedl::nn {
+
+Tensor Relu::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  if (train) {
+    mask_ = Tensor(input.shape());
+    float* m = mask_.data();
+    const float* in = input.data();
+    for (std::size_t i = 0; i < input.numel(); ++i)
+      m[i] = in[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  relu_inplace(out);
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  FEDL_CHECK(!mask_.empty()) << "backward before train-mode forward";
+  Tensor grad = grad_output;
+  mul_inplace(grad, mask_);
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (train) in_shape_ = input.shape();
+  const std::size_t n = input.shape()[0];
+  Tensor out = input;
+  out.reshape(Shape{n, input.numel() / n});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  grad.reshape(in_shape_);
+  return grad;
+}
+
+}  // namespace fedl::nn

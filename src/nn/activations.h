@@ -1,0 +1,29 @@
+// Stateless structural layers: ReLU and Flatten.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedl::nn {
+
+class Relu : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+// Collapses [N, C, H, W] (or any rank) into [N, rest].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace fedl::nn

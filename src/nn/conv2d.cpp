@@ -1,0 +1,95 @@
+#include "nn/conv2d.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/parallel_for.h"
+#include "tensor/gemm.h"
+
+namespace fedl::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               std::size_t in_h, std::size_t in_w, Rng& rng)
+    : geom_{in_channels, in_h, in_w, kernel, kernel, stride, pad},
+      out_channels_(out_channels),
+      weight_(Tensor::he_normal(Shape{out_channels, geom_.col_rows()},
+                                geom_.col_rows(), rng)),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, geom_.col_rows()}),
+      grad_bias_(Shape{out_channels}) {
+  FEDL_CHECK_GT(geom_.out_h(), 0u);
+  FEDL_CHECK_GT(geom_.out_w(), 0u);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  FEDL_CHECK_EQ(input.shape().rank(), 4u);
+  FEDL_CHECK_EQ(input.shape()[1], geom_.in_channels);
+  FEDL_CHECK_EQ(input.shape()[2], geom_.in_h);
+  FEDL_CHECK_EQ(input.shape()[3], geom_.in_w);
+  const std::size_t n = input.shape()[0];
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  Tensor out(Shape{n, out_channels_, oh, ow});
+
+  const std::size_t image_elems = geom_.in_channels * geom_.in_h * geom_.in_w;
+  const std::size_t out_elems = out_channels_ * oh * ow;
+
+  // Samples are independent in forward: parallelize across the batch with a
+  // per-iteration column buffer (thread_local avoids reallocation).
+  parallel_for(0, n, [&](std::size_t s) {
+    thread_local std::vector<float> cols;
+    cols.resize(geom_.col_rows() * geom_.col_cols());
+    im2col(geom_, input.data() + s * image_elems, cols.data());
+    float* dst = out.data() + s * out_elems;
+    // [C_out, colr] x [colr, colc] -> [C_out, oh*ow]
+    gemm(false, false, out_channels_, geom_.col_cols(), geom_.col_rows(), 1.0f,
+         weight_.data(), cols.data(), 0.0f, dst);
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      float* plane = dst + c * oh * ow;
+      const float b = bias_[c];
+      for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += b;
+    }
+  });
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  FEDL_CHECK(!cached_input_.empty()) << "backward before train-mode forward";
+  const std::size_t n = cached_input_.shape()[0];
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  FEDL_CHECK((grad_output.shape() == Shape{n, out_channels_, oh, ow}));
+
+  const std::size_t image_elems = geom_.in_channels * geom_.in_h * geom_.in_w;
+  const std::size_t out_elems = out_channels_ * oh * ow;
+
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> cols(geom_.col_rows() * geom_.col_cols());
+  std::vector<float> dcols(geom_.col_rows() * geom_.col_cols());
+
+  // Weight-gradient accumulation is a reduction across samples; done
+  // sequentially to keep the accumulation deterministic (batches are small
+  // relative to the GEMM cost anyway).
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* dout = grad_output.data() + s * out_elems;
+    im2col(geom_, cached_input_.data() + s * image_elems, cols.data());
+    // dW += dOut * cols^T  : [C_out, oh*ow] x [oh*ow, colr]
+    gemm(false, true, out_channels_, geom_.col_rows(), geom_.col_cols(), 1.0f,
+         dout, cols.data(), 1.0f, grad_weight_.data());
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float* plane = dout + c * oh * ow;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
+      grad_bias_[c] += static_cast<float>(acc);
+    }
+    // dcols = W^T * dOut : [colr, C_out] x [C_out, oh*ow]
+    gemm(true, false, geom_.col_rows(), geom_.col_cols(), out_channels_, 1.0f,
+         weight_.data(), dout, 0.0f, dcols.data());
+    col2im(geom_, dcols.data(), grad_input.data() + s * image_elems);
+  }
+  return grad_input;
+}
+
+}  // namespace fedl::nn

@@ -1,0 +1,40 @@
+// 2-D convolution over NCHW batches via im2col + GEMM.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace fedl {
+class Rng;
+}
+
+namespace fedl::nn {
+
+class Conv2d : public Layer {
+ public:
+  // Square kernels; `pad` defaults to "same"-ish (kernel/2) when npos.
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t pad,
+         std::size_t in_h, std::size_t in_w, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "conv2d"; }
+
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t out_h() const { return geom_.out_h(); }
+  std::size_t out_w() const { return geom_.out_w(); }
+
+ private:
+  Conv2dGeometry geom_;
+  std::size_t out_channels_;
+  Tensor weight_;       // [C_out, C_in*KH*KW]
+  Tensor bias_;         // [C_out]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  // [N, C, H, W]
+};
+
+}  // namespace fedl::nn

@@ -1,0 +1,42 @@
+// Layer interface for the sequential NN models.
+//
+// Layers own their parameters and gradient buffers; Model flattens them into
+// the single ParamVec view that the FL machinery (DANE local solver, server
+// aggregation) operates on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedl::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Forward pass; `train` toggles caching of activations for backward.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  // Backward pass: grad w.r.t. this layer's output -> grad w.r.t. its input.
+  // Accumulates parameter gradients into the layer's grad buffers (callers
+  // zero them via zero_grad() before a fresh accumulation).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Parameter / gradient tensors, in a stable order. Empty for stateless
+  // layers.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Tensor* g : grads()) g->fill(0.0f);
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedl::nn

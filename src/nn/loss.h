@@ -1,0 +1,30 @@
+// Softmax cross-entropy with optional L2 regularization.
+//
+// The paper assumes each client's loss F_{t,k} is L-Lipschitz-smooth and
+// γ-strongly convex; the L2 term (γ/2)‖w‖² supplies the strong convexity for
+// the convergence-accuracy estimates used by constraint (3c).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedl::nn {
+
+struct LossResult {
+  double loss = 0.0;      // mean cross-entropy over the batch (+ L2 if added by Model)
+  Tensor grad_logits;     // [N, C] gradient w.r.t. logits (already /N)
+  std::size_t correct = 0;  // top-1 correct predictions
+};
+
+// logits: [N, C]; labels: N class ids in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint8_t>& labels);
+
+// Loss only (no gradient); used on evaluation paths.
+double softmax_cross_entropy_value(const Tensor& logits,
+                                   const std::vector<std::uint8_t>& labels,
+                                   std::size_t* correct_out = nullptr);
+
+}  // namespace fedl::nn

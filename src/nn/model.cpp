@@ -1,0 +1,102 @@
+#include "nn/model.h"
+
+namespace fedl::nn {
+
+void Model::add(LayerPtr layer) {
+  FEDL_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  FEDL_CHECK(!layers_.empty());
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+EvalResult Model::forward_backward(const Batch& batch) {
+  FEDL_CHECK_GT(batch.size(), 0u);
+  zero_grad();
+  Tensor logits = forward(batch.x, /*train=*/true);
+  LossResult lr = softmax_cross_entropy(logits, batch.y);
+
+  Tensor grad = std::move(lr.grad_logits);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    grad = (*it)->backward(grad);
+
+  double loss = lr.loss;
+  if (l2_reg_ > 0.0) {
+    // loss += γ/2 ‖w‖², grad += γ w — applied directly in the layer buffers.
+    double sq = 0.0;
+    for (auto& layer : layers_) {
+      auto ps = layer->params();
+      auto gs = layer->grads();
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        sq += ps[i]->squared_norm();
+        axpy(static_cast<float>(l2_reg_), *ps[i], *gs[i]);
+      }
+    }
+    loss += 0.5 * l2_reg_ * sq;
+  }
+  return EvalResult{loss, static_cast<double>(lr.correct) /
+                              static_cast<double>(batch.size())};
+}
+
+EvalResult Model::evaluate(const Batch& batch) {
+  FEDL_CHECK_GT(batch.size(), 0u);
+  Tensor logits = forward(batch.x, /*train=*/false);
+  std::size_t correct = 0;
+  double loss = softmax_cross_entropy_value(logits, batch.y, &correct);
+  if (l2_reg_ > 0.0) {
+    double sq = 0.0;
+    for (auto& layer : layers_)
+      for (Tensor* p : layer->params()) sq += p->squared_norm();
+    loss += 0.5 * l2_reg_ * sq;
+  }
+  return EvalResult{loss, static_cast<double>(correct) /
+                              static_cast<double>(batch.size())};
+}
+
+std::size_t Model::num_params() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_)
+    for (Tensor* p : const_cast<Layer&>(*layer).params()) n += p->numel();
+  return n;
+}
+
+ParamVec Model::params_flat() const {
+  ParamVec out;
+  out.reserve(num_params());
+  for (const auto& layer : layers_)
+    for (Tensor* p : const_cast<Layer&>(*layer).params())
+      out.insert(out.end(), p->data(), p->data() + p->numel());
+  return out;
+}
+
+void Model::set_params_flat(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) {
+      FEDL_CHECK_LE(offset + p->numel(), flat.size());
+      std::copy(flat.begin() + offset, flat.begin() + offset + p->numel(),
+                p->data());
+      offset += p->numel();
+    }
+  }
+  FEDL_CHECK_EQ(offset, flat.size()) << "flat vector size mismatch";
+}
+
+ParamVec Model::grads_flat() const {
+  ParamVec out;
+  out.reserve(num_params());
+  for (const auto& layer : layers_)
+    for (Tensor* g : const_cast<Layer&>(*layer).grads())
+      out.insert(out.end(), g->data(), g->data() + g->numel());
+  return out;
+}
+
+void Model::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+}  // namespace fedl::nn

@@ -1,0 +1,71 @@
+// Sequential model with a flat-parameter-vector interface.
+//
+// The FL machinery treats model parameters as one vector w ∈ R^P:
+//  * the server broadcasts w and aggregates client deltas d ∈ R^P,
+//  * the DANE solver differentiates surrogates of F_k at shifted points,
+// so Model exposes params_flat()/set_params_flat()/grads_flat() alongside
+// the usual forward/backward.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace fedl::nn {
+
+using fedl::ParamVec;  // flat parameter vectors are defined in tensor/ops.h
+
+// A minibatch: inputs plus integer class labels.
+struct Batch {
+  Tensor x;                         // [N, ...]
+  std::vector<std::uint8_t> y;      // N labels
+
+  std::size_t size() const { return y.size(); }
+};
+
+struct EvalResult {
+  double loss = 0.0;      // mean cross-entropy + L2 term
+  double accuracy = 0.0;  // top-1
+};
+
+class Model {
+ public:
+  // l2_reg is the strong-convexity constant γ: loss += γ/2 ‖w‖².
+  explicit Model(double l2_reg = 0.0) : l2_reg_(l2_reg) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  void add(LayerPtr layer);
+  std::size_t num_layers() const { return layers_.size(); }
+
+  // Forward pass to logits.
+  Tensor forward(const Tensor& x, bool train);
+
+  // Full training step bookkeeping: zeroes grads, runs forward + softmax-CE
+  // + backward, leaves parameter gradients in the layers. Returns loss
+  // (including the L2 term) and batch accuracy.
+  EvalResult forward_backward(const Batch& batch);
+
+  // Loss/accuracy without touching gradients.
+  EvalResult evaluate(const Batch& batch);
+
+  // --- flat parameter vector view ------------------------------------------
+  std::size_t num_params() const;
+  ParamVec params_flat() const;
+  void set_params_flat(std::span<const float> flat);
+  ParamVec grads_flat() const;
+  void zero_grad();
+
+  double l2_reg() const { return l2_reg_; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+  double l2_reg_;
+};
+
+}  // namespace fedl::nn

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedl::nn {
+
+Sgd::Sgd(double lr) : lr_(lr) { FEDL_CHECK_GT(lr, 0.0); }
+
+void Sgd::step(std::span<float> params, std::span<const float> grad) {
+  FEDL_CHECK_EQ(params.size(), grad.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i] -= static_cast<float>(lr_) * grad[i];
+}
+
+MomentumSgd::MomentumSgd(double lr, double momentum)
+    : lr_(lr), momentum_(momentum) {
+  FEDL_CHECK_GT(lr, 0.0);
+  FEDL_CHECK(momentum >= 0.0 && momentum < 1.0) << "momentum=" << momentum;
+}
+
+void MomentumSgd::step(std::span<float> params, std::span<const float> grad) {
+  FEDL_CHECK_EQ(params.size(), grad.size());
+  if (velocity_.size() != params.size())
+    velocity_.assign(params.size(), 0.0f);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] =
+        static_cast<float>(momentum_) * velocity_[i] + grad[i];
+    params[i] -= static_cast<float>(lr_) * velocity_[i];
+  }
+}
+
+void MomentumSgd::reset() { velocity_.clear(); }
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  FEDL_CHECK_GT(lr, 0.0);
+  FEDL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  FEDL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+}
+
+void Adam::step(std::span<float> params, std::span<const float> grad) {
+  FEDL_CHECK_EQ(params.size(), grad.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0f);
+    v_.assign(params.size(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = static_cast<float>(beta1_ * m_[i] + (1.0 - beta1_) * grad[i]);
+    v_[i] = static_cast<float>(beta2_ * v_[i] +
+                               (1.0 - beta2_) * grad[i] * grad[i]);
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= static_cast<float>(lr_ * mhat /
+                                    (std::sqrt(vhat) + epsilon_));
+  }
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+OptimizerPtr make_optimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<Sgd>(lr);
+  if (name == "momentum") return std::make_unique<MomentumSgd>(lr, 0.9);
+  if (name == "adam") return std::make_unique<Adam>(lr);
+  throw ConfigError("unknown optimizer: " + name);
+}
+
+}  // namespace fedl::nn

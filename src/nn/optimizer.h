@@ -1,0 +1,78 @@
+// First-order optimizers over flat parameter vectors.
+//
+// The DANE surrogate minimization uses plain SGD in the paper; the FL
+// literature it builds on also evaluates Momentum (MFL, Liu et al. [17])
+// and adaptive methods (Reddi et al. [22]). These optimizers plug into the
+// local solvers via the Optimizer interface, enabling the local-solver
+// ablation bench (bench/abl_local_solver).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "tensor/ops.h"
+
+namespace fedl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update step: params -= direction(grad). `params` and `grad`
+  // must keep the same size across calls (state is per-coordinate).
+  virtual void step(std::span<float> params, std::span<const float> grad) = 0;
+
+  // Clears momentum/second-moment state (e.g. between FL iterations).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using OptimizerPtr = std::unique_ptr<Optimizer>;
+
+// Plain SGD: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr);
+  void step(std::span<float> params, std::span<const float> grad) override;
+  void reset() override {}
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double lr_;
+};
+
+// Momentum SGD (MFL-style): v = β v + g; w -= lr v.
+class MomentumSgd : public Optimizer {
+ public:
+  MomentumSgd(double lr, double momentum);
+  void step(std::span<float> params, std::span<const float> grad) override;
+  void reset() override;
+  std::string name() const override { return "momentum"; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<float> velocity_;
+};
+
+// Adam (Reddi et al.'s adaptive-federated-optimization building block).
+class Adam : public Optimizer {
+ public:
+  Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+       double epsilon = 1e-8);
+  void step(std::span<float> params, std::span<const float> grad) override;
+  void reset() override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  std::vector<float> m_, v_;
+  std::size_t t_ = 0;
+};
+
+// Factory by name: "sgd", "momentum", "adam".
+OptimizerPtr make_optimizer(const std::string& name, double lr);
+
+}  // namespace fedl::nn

@@ -1,0 +1,27 @@
+// Max pooling over NCHW batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedl::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t window, std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  Shape in_shape_;
+  Shape out_shape_;
+  // Flat input index of the argmax for every output element (train mode).
+  std::vector<std::size_t> argmax_;
+};
+
+}  // namespace fedl::nn

@@ -1,0 +1,69 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace fedl::nn {
+namespace {
+
+constexpr std::uint64_t kMagic = 0xfed1c0defed1c0deULL;
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& in, const std::string& path) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw ConfigError("truncated checkpoint header: " + path);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t params_hash(const ParamVec& params) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(params.data());
+  const std::size_t n = params.size() * sizeof(float);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void save_params(const ParamVec& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ConfigError("cannot write checkpoint: " + path);
+  write_u64(out, kMagic);
+  write_u64(out, kVersion);
+  write_u64(out, params.size());
+  write_u64(out, params_hash(params));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!out) throw ConfigError("short write on checkpoint: " + path);
+}
+
+ParamVec load_params(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open checkpoint: " + path);
+  if (read_u64(in, path) != kMagic)
+    throw ConfigError("bad checkpoint magic: " + path);
+  if (read_u64(in, path) != kVersion)
+    throw ConfigError("unsupported checkpoint version: " + path);
+  const std::uint64_t count = read_u64(in, path);
+  const std::uint64_t expected_hash = read_u64(in, path);
+
+  ParamVec params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw ConfigError("truncated checkpoint data: " + path);
+  if (params_hash(params) != expected_hash)
+    throw ConfigError("checkpoint hash mismatch (corrupted): " + path);
+  return params;
+}
+
+}  // namespace fedl::nn

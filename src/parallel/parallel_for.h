@@ -1,0 +1,87 @@
+// Blocking data-parallel loops on top of ThreadPool — the OpenMP-style
+// "parallel for" and "parallel reduce" idioms without the pragma dependency.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "common/error.h"
+#include "parallel/thread_pool.h"
+
+namespace fedl {
+
+// Runs body(i) for i in [begin, end) across the pool, splitting the range
+// into one contiguous chunk per worker. Blocks until every chunk finishes;
+// the first task exception (if any) is rethrown on the caller.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, pool.size());
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futs.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+// Convenience overload on the shared pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+  parallel_for(ThreadPool::shared(), begin, end, body);
+}
+
+// Parallel reduction: each chunk folds into a thread-local accumulator of
+// type T (initialized with `identity`), then the partials are combined in
+// deterministic chunk order with `combine` — reductions over doubles give
+// the same result for a fixed pool size.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T identity, const MapFn& map_into, const CombineFn& combine) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, pool.size());
+  if (chunks <= 1) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) map_into(acc, i);
+    return acc;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<T>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futs.push_back(pool.submit([lo, hi, identity, &map_into]() -> T {
+      T acc = identity;
+      for (std::size_t i = lo; i < hi; ++i) map_into(acc, i);
+      return acc;
+    }));
+  }
+  T total = identity;
+  for (auto& f : futs) total = combine(std::move(total), f.get());
+  return total;
+}
+
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                  const MapFn& map_into, const CombineFn& combine) {
+  return parallel_reduce(ThreadPool::shared(), begin, end, identity, map_into,
+                         combine);
+}
+
+}  // namespace fedl

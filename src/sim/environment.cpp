@@ -1,0 +1,93 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fedl::sim {
+
+bool EpochContext::is_available(std::size_t client_id) const {
+  return find(client_id) != nullptr;
+}
+
+const ClientObservation* EpochContext::find(std::size_t client_id) const {
+  auto it = std::lower_bound(
+      available.begin(), available.end(), client_id,
+      [](const ClientObservation& o, std::size_t id) { return o.id < id; });
+  if (it == available.end() || it->id != client_id) return nullptr;
+  return &*it;
+}
+
+EdgeEnvironment::EdgeEnvironment(EnvironmentSpec spec,
+                                 data::Partition partition)
+    : spec_(spec),
+      fleet_(spec.num_clients, spec.device),
+      channel_(spec.num_clients, spec.channel),
+      stream_(std::move(partition), spec.online) {
+  FEDL_CHECK_EQ(stream_.num_clients(), spec_.num_clients)
+      << "partition must have one entry per client";
+  FEDL_CHECK_GT(spec_.expected_participants, 0u);
+  context_.epoch = 0;
+}
+
+const EpochContext& EdgeEnvironment::advance_epoch() {
+  fleet_.advance_epoch();
+  channel_.advance_epoch();
+  stream_.advance_epoch();
+
+  context_.epoch += 1;
+  context_.available.clear();
+  for (std::size_t k = 0; k < spec_.num_clients; ++k) {
+    if (!fleet_.available(k)) continue;
+    const std::size_t d = stream_.epoch_size(k);
+    if (d == 0) continue;  // no local data -> cannot train this epoch
+
+    ClientObservation obs;
+    obs.id = k;
+    obs.cost = fleet_.cost(k);
+    obs.data_size = d;
+    obs.tau_loc = fleet_.compute_latency(k, d);
+    const double rate =
+        channel_.rate_equal_share(k, spec_.expected_participants);
+    obs.tau_cm_est = fleet_.spec().upload_bits / rate;
+    context_.available.push_back(obs);
+  }
+  return context_;
+}
+
+double EdgeEnvironment::realized_tau_cm(std::size_t k,
+                                        std::size_t num_selected) const {
+  FEDL_CHECK_GT(num_selected, 0u);
+  const double rate = channel_.rate_equal_share(k, num_selected);
+  return fleet_.spec().upload_bits / rate;
+}
+
+std::vector<double> EdgeEnvironment::realized_upload_times(
+    const std::vector<std::size_t>& selected) const {
+  FEDL_CHECK(!selected.empty());
+  const net::Allocation alloc = net::allocate_bandwidth(
+      channel_, selected, fleet_.spec().upload_bits, spec_.bandwidth);
+  return alloc.upload_time_s;
+}
+
+std::vector<double> EdgeEnvironment::realized_upload_times(
+    const std::vector<std::size_t>& selected,
+    const std::vector<double>& payload_bits) const {
+  FEDL_CHECK(!selected.empty());
+  FEDL_CHECK_EQ(payload_bits.size(), selected.size());
+  double max_bits = 0.0;
+  for (double b : payload_bits) {
+    FEDL_CHECK_GT(b, 0.0);
+    max_bits = std::max(max_bits, b);
+  }
+  const net::Allocation alloc =
+      net::allocate_bandwidth(channel_, selected, max_bits, spec_.bandwidth);
+  std::vector<double> out(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const double rate = channel_.rate(selected[i], alloc.bandwidth_hz[i]);
+    out[i] = payload_bits[i] / rate;
+  }
+  return out;
+}
+
+}  // namespace fedl::sim

@@ -1,0 +1,96 @@
+// EdgeEnvironment — the complete simulated edge network of paper §3.1.
+//
+// Ties together the device fleet (S7), wireless channel (S6) and online data
+// streams (S5) and exposes exactly what a 0-lookahead decision maker may
+// observe at the *start* of epoch t: who is available, what they cost, how
+// much data they currently hold, and latency estimates. Realized latencies
+// (which depend on the selection itself through the FDMA share) are reported
+// only after a selection is committed, matching the paper's online model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/online.h"
+#include "net/bandwidth.h"
+#include "net/channel.h"
+#include "sim/device.h"
+
+namespace fedl::sim {
+
+// What the server can observe about one available client at decision time.
+struct ClientObservation {
+  std::size_t id = 0;
+  double cost = 0.0;          // c_{t,k}
+  std::size_t data_size = 0;  // D_{t,k}
+  double tau_loc = 0.0;       // per-iteration compute latency (s)
+  double tau_cm_est = 0.0;    // uplink latency estimate at the fair share (s)
+};
+
+struct EpochContext {
+  std::size_t epoch = 0;
+  std::vector<ClientObservation> available;  // E_t, ordered by client id
+
+  bool is_available(std::size_t client_id) const;
+  const ClientObservation* find(std::size_t client_id) const;
+};
+
+struct EnvironmentSpec {
+  std::size_t num_clients = 100;
+  DeviceSpec device;
+  net::ChannelSpec channel;
+  data::OnlineDataSpec online;
+  // Share count assumed when estimating τ^cm before the selection size is
+  // known (the paper's n: minimum participants per epoch).
+  std::size_t expected_participants = 10;
+  // How the cell bandwidth is split across the committed participants.
+  net::BandwidthPolicy bandwidth = net::BandwidthPolicy::kEqual;
+};
+
+class EdgeEnvironment {
+ public:
+  EdgeEnvironment(EnvironmentSpec spec, data::Partition partition);
+
+  std::size_t num_clients() const { return spec_.num_clients; }
+  const EnvironmentSpec& spec() const { return spec_; }
+
+  // Advance all time-varying state (availability, costs, fading, data) and
+  // build the observation for the new epoch.
+  const EpochContext& advance_epoch();
+  const EpochContext& context() const { return context_; }
+  std::size_t epoch() const { return context_.epoch; }
+
+  // Sample indices client k holds in the current epoch.
+  const std::vector<std::size_t>& client_data(std::size_t k) const {
+    return stream_.epoch_indices(k);
+  }
+
+  // Realized uplink latency once the FDMA share is fixed by the committed
+  // selection of size `num_selected` (equal-share formula).
+  double realized_tau_cm(std::size_t k, std::size_t num_selected) const;
+
+  // Realized uplink latencies for the committed selection under the
+  // configured bandwidth policy (parallel to `selected`).
+  std::vector<double> realized_upload_times(
+      const std::vector<std::size_t>& selected) const;
+
+  // As above but with per-client payload sizes (update compression shrinks
+  // the constant s of the latency model). The bandwidth split is computed
+  // for the largest payload (conservative); each client's time then uses its
+  // own payload on its allocated band.
+  std::vector<double> realized_upload_times(
+      const std::vector<std::size_t>& selected,
+      const std::vector<double>& payload_bits) const;
+
+  const DeviceFleet& fleet() const { return fleet_; }
+  const net::ChannelModel& channel() const { return channel_; }
+
+ private:
+  EnvironmentSpec spec_;
+  DeviceFleet fleet_;
+  net::ChannelModel channel_;
+  data::OnlineDataStream stream_;
+  EpochContext context_;
+};
+
+}  // namespace fedl::sim

@@ -1,0 +1,116 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace fedl {
+namespace {
+
+// Block sizes tuned for L1/L2 on a typical x86 core; exact values are not
+// critical, the point is to keep the B panel resident while streaming A.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 256;
+constexpr std::size_t kBlockK = 256;
+
+// Packs op(A)'s [mb x kb] block into row-major contiguous storage so the
+// micro-kernel always streams unit-stride regardless of transposition.
+void pack_a(bool trans_a, const float* a, std::size_t lda, std::size_t row0,
+            std::size_t col0, std::size_t mb, std::size_t kb, float* out) {
+  for (std::size_t i = 0; i < mb; ++i)
+    for (std::size_t p = 0; p < kb; ++p)
+      out[i * kb + p] = trans_a ? a[(col0 + p) * lda + (row0 + i)]
+                                : a[(row0 + i) * lda + (col0 + p)];
+}
+
+void pack_b(bool trans_b, const float* b, std::size_t ldb, std::size_t row0,
+            std::size_t col0, std::size_t kb, std::size_t nb, float* out) {
+  for (std::size_t p = 0; p < kb; ++p)
+    for (std::size_t j = 0; j < nb; ++j)
+      out[p * nb + j] = trans_b ? b[(col0 + j) * ldb + (row0 + p)]
+                                : b[(row0 + p) * ldb + (col0 + j)];
+}
+
+}  // namespace
+
+void gemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, const float* b,
+                float beta, float* c) {
+  const std::size_t lda = trans_a ? m : k;
+  const std::size_t ldb = trans_b ? k : n;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] =
+          alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+    return;
+  }
+  const std::size_t lda = trans_a ? m : k;
+  const std::size_t ldb = trans_b ? k : n;
+
+  // Apply beta once up front; the blocked kernel then accumulates.
+  if (beta == 0.0f) {
+    std::memset(c, 0, m * n * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+
+  std::vector<float> apack(kBlockM * kBlockK);
+  std::vector<float> bpack(kBlockK * kBlockN);
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const std::size_t nb = std::min(kBlockN, n - j0);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t kb = std::min(kBlockK, k - p0);
+      pack_b(trans_b, b, ldb, p0, j0, kb, nb, bpack.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        const std::size_t mb = std::min(kBlockM, m - i0);
+        pack_a(trans_a, a, lda, i0, p0, mb, kb, apack.data());
+        // Micro-kernel: C[i, j] += alpha * sum_p Apack[i, p] * Bpack[p, j].
+        for (std::size_t i = 0; i < mb; ++i) {
+          float* crow = c + (i0 + i) * n + j0;
+          const float* arow = apack.data() + i * kb;
+          for (std::size_t p = 0; p < kb; ++p) {
+            const float av = alpha * arow[p];
+            const float* brow = bpack.data() + p * nb;
+            for (std::size_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c) {
+  FEDL_CHECK_EQ(a.shape().rank(), 2u);
+  FEDL_CHECK_EQ(b.shape().rank(), 2u);
+  const std::size_t m = trans_a ? a.shape()[1] : a.shape()[0];
+  const std::size_t ka = trans_a ? a.shape()[0] : a.shape()[1];
+  const std::size_t kb = trans_b ? b.shape()[1] : b.shape()[0];
+  const std::size_t n = trans_b ? b.shape()[0] : b.shape()[1];
+  FEDL_CHECK_EQ(ka, kb) << "inner dims mismatch: " << a.shape().str() << " * "
+                        << b.shape().str();
+  if (c.shape() != Shape{m, n}) {
+    FEDL_CHECK_EQ(beta, 0.0f) << "beta != 0 requires a correctly-shaped C";
+    c = Tensor(Shape{m, n});
+  }
+  gemm(trans_a, trans_b, m, n, ka, alpha, a.data(), b.data(), beta, c.data());
+}
+
+}  // namespace fedl

@@ -1,0 +1,61 @@
+#include "tensor/im2col.h"
+
+namespace fedl {
+
+void im2col(const Conv2dGeometry& g, const float* image, float* cols) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = cols + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Input row for this output row; pad handled by bounds checks.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            const bool inside = iy >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                                ix >= 0 &&
+                                ix < static_cast<std::ptrdiff_t>(g.in_w);
+            out[y * ow + x] =
+                inside ? image[(c * g.in_h + iy) * g.in_w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeometry& g, const float* cols, float* image) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in = cols + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            image[(c * g.in_h + iy) * g.in_w + ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedl

@@ -1,0 +1,35 @@
+// im2col / col2im lowering for convolution.
+//
+// Convolution over an NCHW image becomes a GEMM between the filter matrix
+// [C_out, C_in*KH*KW] and the column matrix [C_in*KH*KW, OH*OW]; col2im is
+// the adjoint used in the backward pass.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace fedl {
+
+struct Conv2dGeometry {
+  std::size_t in_channels;
+  std::size_t in_h;
+  std::size_t in_w;
+  std::size_t kernel_h;
+  std::size_t kernel_w;
+  std::size_t stride;
+  std::size_t pad;
+
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  std::size_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+  std::size_t col_cols() const { return out_h() * out_w(); }
+};
+
+// image: one sample, [C, H, W] contiguous; cols: [col_rows, col_cols].
+void im2col(const Conv2dGeometry& g, const float* image, float* cols);
+
+// Adjoint: accumulate columns back into the (pre-zeroed) image gradient.
+void col2im(const Conv2dGeometry& g, const float* cols, float* image);
+
+}  // namespace fedl

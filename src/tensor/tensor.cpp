@@ -1,0 +1,102 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace fedl {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_{1, 1, 1, 1} {
+  FEDL_CHECK(dims.size() >= 1 && dims.size() <= 4)
+      << "rank must be 1..4, got " << dims.size();
+  rank_ = dims.size();
+  std::size_t i = 0;
+  for (std::size_t d : dims) dims_[i++] = d;
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  // Shapes compare by logical extent: trailing 1-dims don't matter.
+  for (std::size_t i = 0; i < 4; ++i)
+    if (dim_or_1(i) != other.dim_or_1(i)) return false;
+  return true;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) os << 'x';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(shape), data_(shape.numel(), fill) {}
+
+Tensor Tensor::he_normal(Shape shape, std::size_t fan_in, Rng& rng) {
+  FEDL_CHECK_GT(fan_in, 0u);
+  Tensor t(shape);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, float lo, float hi, Rng& rng) {
+  Tensor t(shape);
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  FEDL_CHECK_EQ(shape_.rank(), 2u);
+  FEDL_CHECK_LT(r, shape_[0]);
+  FEDL_CHECK_LT(c, shape_[1]);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  FEDL_CHECK_EQ(shape_.rank(), 4u);
+  FEDL_CHECK_LT(n, shape_[0]);
+  FEDL_CHECK_LT(c, shape_[1]);
+  FEDL_CHECK_LT(h, shape_[2]);
+  FEDL_CHECK_LT(w, shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  FEDL_CHECK_EQ(new_shape.numel(), data_.size())
+      << "reshape " << shape_.str() << " -> " << new_shape.str();
+  shape_ = new_shape;
+}
+
+double Tensor::squared_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+double Tensor::norm() const { return std::sqrt(squared_norm()); }
+
+}  // namespace fedl

@@ -1,0 +1,227 @@
+// Edge-case tests for the online learner and FedL strategy: degenerate
+// availability, extreme duals, fraction stability, fairness warm-up, and
+// the ρ/η conversions at their boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fedl_strategy.h"
+#include "core/online_learner.h"
+
+namespace fedl::core {
+namespace {
+
+sim::EpochContext ctx_with(std::vector<sim::ClientObservation> obs) {
+  sim::EpochContext ctx;
+  ctx.epoch = 1;
+  ctx.available = std::move(obs);
+  return ctx;
+}
+
+sim::ClientObservation client(std::size_t id, double cost, double tau) {
+  sim::ClientObservation o;
+  o.id = id;
+  o.cost = cost;
+  o.data_size = 10;
+  o.tau_loc = tau;
+  o.tau_cm_est = 0.1;
+  return o;
+}
+
+LearnerConfig cfg_n(std::size_t n) {
+  LearnerConfig cfg;
+  cfg.n_min = n;
+  return cfg;
+}
+
+TEST(LearnerEdge, SingleAvailableClient) {
+  OnlineLearner learner(5, cfg_n(3));
+  BudgetLedger budget(100.0);
+  const auto dec = learner.decide(ctx_with({client(2, 1.0, 0.5)}), budget);
+  ASSERT_EQ(dec.ids.size(), 1u);
+  // Σx ≥ min(n, |E|) = 1 forces full selection of the only client.
+  EXPECT_NEAR(dec.x[0], 1.0, 1e-6);
+}
+
+TEST(LearnerEdge, NMinEqualsAvailableForcesEveryone) {
+  OnlineLearner learner(4, cfg_n(4));
+  BudgetLedger budget(1000.0);
+  const auto dec = learner.decide(
+      ctx_with({client(0, 1, 0.2), client(1, 1, 0.4), client(2, 1, 0.6),
+                client(3, 1, 0.8)}),
+      budget);
+  double sum = 0.0;
+  for (double x : dec.x) sum += x;
+  EXPECT_GE(sum, 4.0 - 1e-4);
+}
+
+TEST(LearnerEdge, FractionsStayInBoxOverManyEpochs) {
+  OnlineLearner learner(6, cfg_n(2));
+  BudgetLedger budget(1e6);
+  const auto ctx = ctx_with({client(0, 1, 0.1), client(1, 2, 0.2),
+                             client(2, 3, 0.3), client(3, 4, 0.4),
+                             client(4, 5, 0.5), client(5, 6, 0.6)});
+  for (int t = 0; t < 30; ++t) {
+    const auto dec = learner.decide(ctx, budget);
+    for (double x : dec.x) {
+      EXPECT_GE(x, -1e-9);
+      EXPECT_LE(x, 1.0 + 1e-9);
+    }
+    EXPECT_GE(dec.rho, 1.0);
+    fl::EpochOutcome out;
+    out.selected = {0};
+    out.num_iterations = 1;
+    out.client_eta = {0.5};
+    out.client_loss_reduction = {0.1};
+    out.train_loss_all = 2.0;  // persistent violation: duals keep growing
+    learner.observe(ctx, dec, out);
+  }
+  // Duals grew for 30 epochs of violation; ρ must be pushed up but stay
+  // within its cap.
+  EXPECT_LE(learner.rho(), learner.config().rho_max + 1e-9);
+  EXPECT_GT(learner.mu()[0], 1.0);
+}
+
+TEST(LearnerEdge, SatisfiedConstraintDrivesMuToZero) {
+  LearnerConfig cfg = cfg_n(1);
+  cfg.delta = 0.5;
+  OnlineLearner learner(2, cfg);
+  BudgetLedger budget(100.0);
+  const auto ctx = ctx_with({client(0, 1, 0.1), client(1, 1, 0.2)});
+
+  // First: violate to build up μ0.
+  auto frac = learner.decide(ctx, budget);
+  fl::EpochOutcome bad;
+  bad.train_loss_all = 3.0;
+  learner.observe(ctx, frac, bad);
+  const double mu_high = learner.mu()[0];
+  EXPECT_GT(mu_high, 0.0);
+
+  // Then: persistently satisfied -> the positive-part update bleeds μ0 off.
+  fl::EpochOutcome good;
+  good.train_loss_all = 0.0;  // h0 = −θ < 0
+  for (int t = 0; t < 30; ++t) {
+    frac = learner.decide(ctx, budget);
+    learner.observe(ctx, frac, good);
+  }
+  EXPECT_EQ(learner.mu()[0], 0.0);
+}
+
+TEST(LearnerEdge, HigherDeltaEstimateRaisesSelectionPressure) {
+  // Two identical clients except the learned Δ̂; with an active convergence
+  // constraint the high-Δ̂ client must end with at least the fraction of the
+  // low-Δ̂ one.
+  LearnerConfig cfg = cfg_n(1);
+  cfg.ema = 1.0;
+  OnlineLearner learner(2, cfg);
+  BudgetLedger budget(1000.0);
+  const auto ctx = ctx_with({client(0, 1, 0.5), client(1, 1, 0.5)});
+  for (int t = 0; t < 12; ++t) {
+    const auto frac = learner.decide(ctx, budget);
+    fl::EpochOutcome out;
+    out.selected = {0, 1};
+    out.num_iterations = 1;
+    out.client_eta = {0.5, 0.5};
+    out.client_loss_reduction = {0.5, 0.01};  // client 0 is far more useful
+    out.train_loss_all = 2.0;                 // θ violated -> μ0 active
+    learner.observe(ctx, frac, out);
+  }
+  EXPECT_GE(learner.x_fraction(0), learner.x_fraction(1) - 1e-6);
+  EXPECT_GT(learner.delta_estimate(0), learner.delta_estimate(1));
+}
+
+TEST(LearnerEdge, ZeroBudgetRemainingStillWellDefined) {
+  OnlineLearner learner(3, cfg_n(2));
+  BudgetLedger budget(10.0);
+  budget.charge(10.0);  // remaining == 0
+  const auto dec = learner.decide(
+      ctx_with({client(0, 1, 0.1), client(1, 1, 0.2), client(2, 1, 0.3)}),
+      budget);
+  // Fractions exist (the cap floors at the cheapest-n heuristic); the
+  // integer-level repair in FedLStrategy is what enforces the hard budget.
+  ASSERT_EQ(dec.x.size(), 3u);
+  for (double x : dec.x) EXPECT_TRUE(std::isfinite(x));
+}
+
+// --- FedL strategy edges -------------------------------------------------------
+
+TEST(FedLEdge, EmptyEpochYieldsEmptyDecision) {
+  FedLConfig fc;
+  fc.learner.n_min = 2;
+  FedLStrategy s(4, fc);
+  BudgetLedger budget(100.0);
+  sim::EpochContext ctx;
+  const auto dec = s.decide(ctx, budget);
+  EXPECT_TRUE(dec.selected.empty());
+}
+
+TEST(FedLEdge, FairnessInactiveDuringWarmup) {
+  FedLConfig fc;
+  fc.learner.n_min = 1;
+  fc.fairness.enabled = true;
+  fc.fairness.min_rate = 0.9;  // aggressive quota
+  fc.fairness.warmup_epochs = 1000;  // never leaves warm-up
+  FedLStrategy with_warmup(4, fc);
+  fc.fairness.enabled = false;
+  FedLStrategy without(4, fc);
+
+  BudgetLedger b1(1e6), b2(1e6);
+  const auto ctx = ctx_with({client(0, 1, 0.1), client(1, 1, 2.0),
+                             client(2, 1, 2.0), client(3, 1, 2.0)});
+  for (int t = 0; t < 8; ++t) {
+    const auto d1 = with_warmup.decide(ctx, b1);
+    const auto d2 = without.decide(ctx, b2);
+    EXPECT_EQ(d1.selected, d2.selected) << "epoch " << t;
+    fl::EpochOutcome out;
+    out.selected = d1.selected;
+    out.num_iterations = d1.num_iterations;
+    out.client_eta.assign(d1.selected.size(), 0.5);
+    out.client_loss_reduction.assign(d1.selected.size(), 0.1);
+    out.train_loss_all = 0.3;
+    with_warmup.observe(ctx, d1, out);
+    without.observe(ctx, d2, out);
+  }
+}
+
+TEST(FedLEdge, ParticipationTrackerCountsEveryEpoch) {
+  FedLConfig fc;
+  fc.learner.n_min = 1;
+  FedLStrategy s(3, fc);
+  BudgetLedger budget(1e6);
+  const auto ctx =
+      ctx_with({client(0, 1, 0.1), client(1, 1, 0.2), client(2, 1, 0.3)});
+  for (int t = 0; t < 5; ++t) {
+    const auto d = s.decide(ctx, budget);
+    fl::EpochOutcome out;
+    out.selected = d.selected;
+    out.train_loss_all = 0.5;
+    s.observe(ctx, d, out);
+  }
+  EXPECT_EQ(s.participation().epochs(), 5u);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_EQ(s.participation().availabilities(k), 5u);
+}
+
+TEST(FedLEdge, IterationCountRespectsLMax) {
+  FedLConfig fc;
+  fc.learner.n_min = 1;
+  fc.l_max = 3;
+  fc.learner.rho_max = 50.0;  // learner may push ρ beyond l_max
+  FedLStrategy s(2, fc);
+  BudgetLedger budget(1e6);
+  const auto ctx = ctx_with({client(0, 1, 0.1), client(1, 1, 0.2)});
+  for (int t = 0; t < 20; ++t) {
+    const auto d = s.decide(ctx, budget);
+    EXPECT_LE(d.num_iterations, 3u);
+    fl::EpochOutcome out;
+    out.selected = d.selected;
+    out.num_iterations = d.num_iterations;
+    out.client_eta.assign(d.selected.size(), 0.99);  // demands huge ρ
+    out.client_loss_reduction.assign(d.selected.size(), 0.01);
+    out.train_loss_all = 3.0;
+    s.observe(ctx, d, out);
+  }
+}
+
+}  // namespace
+}  // namespace fedl::core

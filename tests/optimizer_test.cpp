@@ -1,0 +1,193 @@
+// Tests for the flat-vector optimizers (SGD / Momentum / Adam) and the
+// checkpoint serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace fedl::nn {
+namespace {
+
+// Quadratic bowl f(w) = 0.5‖w − target‖²; gradient = w − target.
+struct Bowl {
+  ParamVec target;
+  ParamVec grad(const ParamVec& w) const {
+    ParamVec g(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) g[i] = w[i] - target[i];
+    return g;
+  }
+  double value(const ParamVec& w) const {
+    double v = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      v += 0.5 * (w[i] - target[i]) * (w[i] - target[i]);
+    return v;
+  }
+};
+
+ParamVec run_optimizer(Optimizer& opt, int steps) {
+  Bowl bowl{{1.0f, -2.0f, 3.0f}};
+  ParamVec w = {0.0f, 0.0f, 0.0f};
+  for (int s = 0; s < steps; ++s) {
+    const ParamVec g = bowl.grad(w);
+    opt.step(w, g);
+  }
+  return w;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd opt(0.2);
+  const ParamVec w = run_optimizer(opt, 100);
+  EXPECT_NEAR(w[0], 1.0, 1e-4);
+  EXPECT_NEAR(w[1], -2.0, 1e-4);
+  EXPECT_NEAR(w[2], 3.0, 1e-4);
+}
+
+TEST(Sgd, SingleStepIsExactFormula) {
+  Sgd opt(0.1);
+  ParamVec w = {1.0f};
+  ParamVec g = {4.0f};
+  opt.step(w, g);
+  EXPECT_NEAR(w[0], 1.0 - 0.1 * 4.0, 1e-7);
+}
+
+TEST(MomentumSgd, ConvergesOnQuadratic) {
+  MomentumSgd opt(0.05, 0.9);
+  const ParamVec w = run_optimizer(opt, 300);
+  EXPECT_NEAR(w[0], 1.0, 1e-3);
+  EXPECT_NEAR(w[2], 3.0, 1e-3);
+}
+
+TEST(MomentumSgd, AcceleratesVsPlainSgdEarly) {
+  // With the same lr, momentum covers more distance in the first steps.
+  Bowl bowl{{10.0f}};
+  ParamVec w_sgd = {0.0f}, w_mom = {0.0f};
+  Sgd sgd(0.01);
+  MomentumSgd mom(0.01, 0.9);
+  for (int s = 0; s < 30; ++s) {
+    sgd.step(w_sgd, bowl.grad(w_sgd));
+    mom.step(w_mom, bowl.grad(w_mom));
+  }
+  EXPECT_GT(w_mom[0], w_sgd[0]);
+}
+
+TEST(MomentumSgd, ResetClearsVelocity) {
+  MomentumSgd opt(0.1, 0.9);
+  ParamVec w = {0.0f};
+  ParamVec g = {1.0f};
+  opt.step(w, g);
+  opt.reset();
+  ParamVec w2 = {0.0f};
+  opt.step(w2, g);
+  // After reset, the first step must equal a fresh optimizer's first step.
+  EXPECT_EQ(w2[0], -0.1f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt(0.3);
+  const ParamVec w = run_optimizer(opt, 400);
+  EXPECT_NEAR(w[0], 1.0, 2e-2);
+  EXPECT_NEAR(w[1], -2.0, 2e-2);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // Bias correction makes the first Adam step ≈ lr * sign(g).
+  Adam opt(0.25);
+  ParamVec w = {0.0f};
+  ParamVec g = {7.0f};
+  opt.step(w, g);
+  EXPECT_NEAR(w[0], -0.25, 1e-3);
+}
+
+TEST(OptimizerFactory, KnownNamesAndErrors) {
+  EXPECT_EQ(make_optimizer("sgd", 0.1)->name(), "sgd");
+  EXPECT_EQ(make_optimizer("momentum", 0.1)->name(), "momentum");
+  EXPECT_EQ(make_optimizer("adam", 0.1)->name(), "adam");
+  EXPECT_THROW(make_optimizer("rmsprop", 0.1), ConfigError);
+}
+
+TEST(OptimizerParams, RejectBadHyperparameters) {
+  EXPECT_THROW(Sgd(0.0), CheckError);
+  EXPECT_THROW(MomentumSgd(0.1, 1.0), CheckError);
+  EXPECT_THROW(Adam(0.1, 1.5), CheckError);
+}
+
+// --- serialization -----------------------------------------------------------
+
+std::string temp_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "/fedl_ckpt_" + tag + ".bin";
+}
+
+TEST(Serialize, RoundTripsExactly) {
+  Rng rng(1);
+  ParamVec params(257);
+  for (auto& p : params) p = static_cast<float>(rng.normal());
+  const std::string path = temp_path("roundtrip");
+  save_params(params, path);
+  const ParamVec loaded = load_params(path);
+  EXPECT_EQ(loaded, params);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyVector) {
+  const std::string path = temp_path("empty");
+  save_params({}, path);
+  EXPECT_TRUE(load_params(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_params("/nonexistent/fedl.bin"), ConfigError);
+}
+
+TEST(Serialize, CorruptionDetectedByHash) {
+  Rng rng(2);
+  ParamVec params(64);
+  for (auto& p : params) p = static_cast<float>(rng.normal());
+  const std::string path = temp_path("corrupt");
+  save_params(params, path);
+  {
+    // Flip one payload byte past the 32-byte header.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char b;
+    f.seekg(40);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0xff);
+    f.seekp(40);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(load_params(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncationDetected) {
+  ParamVec params(16, 1.0f);
+  const std::string path = temp_path("trunc");
+  save_params(params, path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 8));
+  }
+  EXPECT_THROW(load_params(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, HashIsContentSensitive) {
+  ParamVec a = {1.0f, 2.0f};
+  ParamVec b = {1.0f, 2.00001f};
+  EXPECT_NE(params_hash(a), params_hash(b));
+  EXPECT_EQ(params_hash(a), params_hash(ParamVec{1.0f, 2.0f}));
+}
+
+}  // namespace
+}  // namespace fedl::nn

@@ -1,0 +1,163 @@
+// Tests for RDCS (Algorithm 2) and independent rounding, including the
+// statistical verification of Theorem 3 (E[x_k] = x̃_k) and the
+// sum-preservation property that motivates dependent rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/rounding.h"
+
+namespace fedl::core {
+namespace {
+
+double frac_sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+int int_sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(Rdcs, OutputIsBinary) {
+  Rng rng(1);
+  const std::vector<double> x = {0.3, 0.7, 0.5, 0.1, 0.9};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = rdcs_round(x, rng);
+    ASSERT_EQ(r.size(), x.size());
+    for (int v : r) EXPECT_TRUE(v == 0 || v == 1);
+  }
+}
+
+TEST(Rdcs, IntegralInputsUntouched) {
+  Rng rng(2);
+  const std::vector<double> x = {0.0, 1.0, 1.0, 0.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto r = rdcs_round(x, rng);
+    EXPECT_EQ(r, (std::vector<int>{0, 1, 1, 0}));
+  }
+}
+
+TEST(Rdcs, SumPreservedWithinOne) {
+  // Dependent rounding keeps the realized sum within {⌊Σx̃⌋, ⌈Σx̃⌉} — the key
+  // advantage over independent rounding, which can swing by O(√K).
+  Rng rng(3);
+  const std::vector<double> x = {0.2, 0.8, 0.5, 0.5, 0.3, 0.7, 0.4, 0.6};
+  const double target = frac_sum(x);  // 4.0 exactly
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto r = rdcs_round(x, rng);
+    EXPECT_EQ(int_sum(r), static_cast<int>(target));
+  }
+}
+
+TEST(Rdcs, NonIntegralSumRoundsToFloorOrCeil) {
+  Rng rng(4);
+  const std::vector<double> x = {0.3, 0.4, 0.6};  // sum 1.3
+  bool saw_floor = false, saw_ceil = false;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int s = int_sum(rdcs_round(x, rng));
+    EXPECT_TRUE(s == 1 || s == 2) << s;
+    saw_floor |= (s == 1);
+    saw_ceil |= (s == 2);
+  }
+  EXPECT_TRUE(saw_floor);
+  EXPECT_TRUE(saw_ceil);
+}
+
+TEST(Rdcs, SingleFractionMarginal) {
+  Rng rng(5);
+  const std::vector<double> x = {0.25};
+  int ones = 0;
+  const int n = 40000;
+  for (int trial = 0; trial < n; ++trial) ones += rdcs_round(x, rng)[0];
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.25, 0.01);
+}
+
+TEST(Rdcs, OutOfRangeThrows) {
+  Rng rng(6);
+  EXPECT_THROW(rdcs_round({1.5}, rng), CheckError);
+  EXPECT_THROW(rdcs_round({-0.2}, rng), CheckError);
+}
+
+TEST(Rdcs, EmptyInput) {
+  Rng rng(7);
+  EXPECT_TRUE(rdcs_round({}, rng).empty());
+}
+
+// Theorem 3: E[x_k] = x̃_k. Verified statistically over many trials for a
+// family of fraction vectors (parameterized property test).
+class RdcsMarginals
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(RdcsMarginals, ExpectationMatchesFraction) {
+  const std::vector<double> x = GetParam();
+  Rng rng(1234);
+  const int trials = 30000;
+  std::vector<double> mean(x.size(), 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const auto r = rdcs_round(x, rng);
+    for (std::size_t k = 0; k < x.size(); ++k) mean[k] += r[k];
+  }
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    mean[k] /= trials;
+    // 4-sigma band for a Bernoulli mean estimate.
+    const double sigma = std::sqrt(x[k] * (1 - x[k]) / trials) + 1e-9;
+    EXPECT_NEAR(mean[k], x[k], 4 * sigma + 0.004) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fractions, RdcsMarginals,
+    ::testing::Values(std::vector<double>{0.5, 0.5},
+                      std::vector<double>{0.1, 0.9},
+                      std::vector<double>{0.3, 0.3, 0.4},
+                      std::vector<double>{0.25, 0.5, 0.75},
+                      std::vector<double>{0.05, 0.95, 0.5, 0.5, 0.2, 0.8},
+                      std::vector<double>{0.7, 0.0, 1.0, 0.3},
+                      std::vector<double>{0.15, 0.35, 0.55, 0.75, 0.95}));
+
+TEST(IndependentRound, MarginalsMatch) {
+  Rng rng(8);
+  const std::vector<double> x = {0.2, 0.6};
+  const int trials = 30000;
+  std::vector<double> mean(x.size(), 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const auto r = independent_round(x, rng);
+    for (std::size_t k = 0; k < x.size(); ++k) mean[k] += r[k];
+  }
+  EXPECT_NEAR(mean[0] / trials, 0.2, 0.01);
+  EXPECT_NEAR(mean[1] / trials, 0.6, 0.01);
+}
+
+TEST(IndependentRound, SumVarianceExceedsRdcs) {
+  // The motivating comparison: RDCS's realized sum is (near) constant while
+  // independent rounding's sum has Bernoulli variance.
+  Rng rng(9);
+  const std::vector<double> x(10, 0.5);  // sum = 5
+  double var_ind = 0.0, var_rdcs = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const double si = int_sum(independent_round(x, rng)) - 5.0;
+    const double sr = int_sum(rdcs_round(x, rng)) - 5.0;
+    var_ind += si * si;
+    var_rdcs += sr * sr;
+  }
+  var_ind /= trials;
+  var_rdcs /= trials;
+  EXPECT_NEAR(var_rdcs, 0.0, 1e-9);
+  EXPECT_GT(var_ind, 1.0);  // theoretical 2.5
+}
+
+TEST(Rdcs, ClampsTinyNumericalViolations) {
+  Rng rng(10);
+  // Values within the documented tolerance just outside [0,1].
+  const std::vector<double> x = {-1e-13, 1.0 + 1e-13, 0.5, 0.5};
+  const auto r = rdcs_round(x, rng);
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(r[1], 1);
+}
+
+}  // namespace
+}  // namespace fedl::core
