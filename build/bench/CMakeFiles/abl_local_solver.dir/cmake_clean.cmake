@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_local_solver.dir/abl_local_solver.cpp.o"
+  "CMakeFiles/abl_local_solver.dir/abl_local_solver.cpp.o.d"
+  "abl_local_solver"
+  "abl_local_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_local_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

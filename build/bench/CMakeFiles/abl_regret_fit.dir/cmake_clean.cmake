@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_regret_fit.dir/abl_regret_fit.cpp.o"
+  "CMakeFiles/abl_regret_fit.dir/abl_regret_fit.cpp.o.d"
+  "abl_regret_fit"
+  "abl_regret_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_regret_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rounding.dir/abl_rounding.cpp.o"
+  "CMakeFiles/abl_rounding.dir/abl_rounding.cpp.o.d"
+  "abl_rounding"
+  "abl_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stepsize.dir/abl_stepsize.cpp.o"
+  "CMakeFiles/abl_stepsize.dir/abl_stepsize.cpp.o.d"
+  "abl_stepsize"
+  "abl_stepsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stepsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

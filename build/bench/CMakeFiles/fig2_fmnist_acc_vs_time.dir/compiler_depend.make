@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_fmnist_acc_vs_time.
+# This may be replaced when dependencies are built.

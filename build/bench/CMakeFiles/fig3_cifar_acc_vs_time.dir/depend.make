@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_cifar_acc_vs_time.
+# This may be replaced when dependencies are built.

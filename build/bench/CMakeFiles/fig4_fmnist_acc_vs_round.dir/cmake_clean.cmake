@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fmnist_acc_vs_round.dir/fig4_fmnist_acc_vs_round.cpp.o"
+  "CMakeFiles/fig4_fmnist_acc_vs_round.dir/fig4_fmnist_acc_vs_round.cpp.o.d"
+  "fig4_fmnist_acc_vs_round"
+  "fig4_fmnist_acc_vs_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fmnist_acc_vs_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cifar_acc_vs_round.dir/fig5_cifar_acc_vs_round.cpp.o"
+  "CMakeFiles/fig5_cifar_acc_vs_round.dir/fig5_cifar_acc_vs_round.cpp.o.d"
+  "fig5_cifar_acc_vs_round"
+  "fig5_cifar_acc_vs_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cifar_acc_vs_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_cifar_acc_vs_round.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fmnist_budget.dir/fig6_fmnist_budget.cpp.o"
+  "CMakeFiles/fig6_fmnist_budget.dir/fig6_fmnist_budget.cpp.o.d"
+  "fig6_fmnist_budget"
+  "fig6_fmnist_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fmnist_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

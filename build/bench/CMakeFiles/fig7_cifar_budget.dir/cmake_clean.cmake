@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cifar_budget.dir/fig7_cifar_budget.cpp.o"
+  "CMakeFiles/fig7_cifar_budget.dir/fig7_cifar_budget.cpp.o.d"
+  "fig7_cifar_budget"
+  "fig7_cifar_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cifar_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_news_recommendation.dir/edge_news_recommendation.cpp.o"
+  "CMakeFiles/edge_news_recommendation.dir/edge_news_recommendation.cpp.o.d"
+  "edge_news_recommendation"
+  "edge_news_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_news_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_and_resume.dir/export_and_resume.cpp.o"
+  "CMakeFiles/export_and_resume.dir/export_and_resume.cpp.o.d"
+  "export_and_resume"
+  "export_and_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_and_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for export_and_resume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_common.dir/config.cpp.o"
+  "CMakeFiles/fedl_common.dir/config.cpp.o.d"
+  "CMakeFiles/fedl_common.dir/csv.cpp.o"
+  "CMakeFiles/fedl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/fedl_common.dir/logging.cpp.o"
+  "CMakeFiles/fedl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fedl_common.dir/rng.cpp.o"
+  "CMakeFiles/fedl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fedl_common.dir/stats.cpp.o"
+  "CMakeFiles/fedl_common.dir/stats.cpp.o.d"
+  "libfedl_common.a"
+  "libfedl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

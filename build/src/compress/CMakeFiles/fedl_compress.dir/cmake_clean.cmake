@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_compress.dir/compressor.cpp.o"
+  "CMakeFiles/fedl_compress.dir/compressor.cpp.o.d"
+  "CMakeFiles/fedl_compress.dir/quantize.cpp.o"
+  "CMakeFiles/fedl_compress.dir/quantize.cpp.o.d"
+  "CMakeFiles/fedl_compress.dir/topk.cpp.o"
+  "CMakeFiles/fedl_compress.dir/topk.cpp.o.d"
+  "libfedl_compress.a"
+  "libfedl_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/fedl_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/fedl_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/core/CMakeFiles/fedl_core.dir/fairness.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/fairness.cpp.o.d"
+  "/root/repo/src/core/fedl_strategy.cpp" "src/core/CMakeFiles/fedl_core.dir/fedl_strategy.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/fedl_strategy.cpp.o.d"
+  "/root/repo/src/core/offline_oracle.cpp" "src/core/CMakeFiles/fedl_core.dir/offline_oracle.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/offline_oracle.cpp.o.d"
+  "/root/repo/src/core/online_learner.cpp" "src/core/CMakeFiles/fedl_core.dir/online_learner.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/online_learner.cpp.o.d"
+  "/root/repo/src/core/regret.cpp" "src/core/CMakeFiles/fedl_core.dir/regret.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/regret.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/fedl_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/rounding.cpp.o.d"
+  "/root/repo/src/core/ucb_strategy.cpp" "src/core/CMakeFiles/fedl_core.dir/ucb_strategy.cpp.o" "gcc" "src/core/CMakeFiles/fedl_core.dir/ucb_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fedl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/fedl_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fedl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fedl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_core.dir/baselines.cpp.o"
+  "CMakeFiles/fedl_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/budget.cpp.o"
+  "CMakeFiles/fedl_core.dir/budget.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/fairness.cpp.o"
+  "CMakeFiles/fedl_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/fedl_strategy.cpp.o"
+  "CMakeFiles/fedl_core.dir/fedl_strategy.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/offline_oracle.cpp.o"
+  "CMakeFiles/fedl_core.dir/offline_oracle.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/online_learner.cpp.o"
+  "CMakeFiles/fedl_core.dir/online_learner.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/regret.cpp.o"
+  "CMakeFiles/fedl_core.dir/regret.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/rounding.cpp.o"
+  "CMakeFiles/fedl_core.dir/rounding.cpp.o.d"
+  "CMakeFiles/fedl_core.dir/ucb_strategy.cpp.o"
+  "CMakeFiles/fedl_core.dir/ucb_strategy.cpp.o.d"
+  "libfedl_core.a"
+  "libfedl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedl_data.dir/idx_loader.cpp.o"
+  "CMakeFiles/fedl_data.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/fedl_data.dir/online.cpp.o"
+  "CMakeFiles/fedl_data.dir/online.cpp.o.d"
+  "CMakeFiles/fedl_data.dir/partition.cpp.o"
+  "CMakeFiles/fedl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedl_data.dir/synthetic.cpp.o.d"
+  "libfedl_data.a"
+  "libfedl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/dane.cpp" "src/fl/CMakeFiles/fedl_fl.dir/dane.cpp.o" "gcc" "src/fl/CMakeFiles/fedl_fl.dir/dane.cpp.o.d"
+  "/root/repo/src/fl/engine.cpp" "src/fl/CMakeFiles/fedl_fl.dir/engine.cpp.o" "gcc" "src/fl/CMakeFiles/fedl_fl.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fedl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fedl_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

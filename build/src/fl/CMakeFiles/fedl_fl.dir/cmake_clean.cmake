@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_fl.dir/dane.cpp.o"
+  "CMakeFiles/fedl_fl.dir/dane.cpp.o.d"
+  "CMakeFiles/fedl_fl.dir/engine.cpp.o"
+  "CMakeFiles/fedl_fl.dir/engine.cpp.o.d"
+  "libfedl_fl.a"
+  "libfedl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_harness.dir/experiment.cpp.o"
+  "CMakeFiles/fedl_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/fedl_harness.dir/json_export.cpp.o"
+  "CMakeFiles/fedl_harness.dir/json_export.cpp.o.d"
+  "CMakeFiles/fedl_harness.dir/report.cpp.o"
+  "CMakeFiles/fedl_harness.dir/report.cpp.o.d"
+  "libfedl_harness.a"
+  "libfedl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

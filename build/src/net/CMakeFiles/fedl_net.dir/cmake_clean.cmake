@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/fedl_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/fedl_net.dir/channel.cpp.o"
+  "CMakeFiles/fedl_net.dir/channel.cpp.o.d"
+  "libfedl_net.a"
+  "libfedl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedl_net.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fedl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/fedl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/fedl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/factory.cpp" "src/nn/CMakeFiles/fedl_nn.dir/factory.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/factory.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/fedl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/fedl_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/fedl_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/fedl_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fedl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

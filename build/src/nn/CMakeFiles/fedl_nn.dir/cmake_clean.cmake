@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_nn.dir/activations.cpp.o"
+  "CMakeFiles/fedl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/fedl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/dense.cpp.o"
+  "CMakeFiles/fedl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/factory.cpp.o"
+  "CMakeFiles/fedl_nn.dir/factory.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/model.cpp.o"
+  "CMakeFiles/fedl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/pool.cpp.o"
+  "CMakeFiles/fedl_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/fedl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fedl_nn.dir/serialize.cpp.o.d"
+  "libfedl_nn.a"
+  "libfedl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

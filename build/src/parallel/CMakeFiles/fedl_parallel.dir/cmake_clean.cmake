@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedl_parallel.dir/thread_pool.cpp.o.d"
+  "libfedl_parallel.a"
+  "libfedl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

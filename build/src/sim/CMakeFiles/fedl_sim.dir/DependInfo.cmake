@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/fedl_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/fedl_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/fedl_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/fedl_sim.dir/environment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fedl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/fedl_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_sim.dir/device.cpp.o"
+  "CMakeFiles/fedl_sim.dir/device.cpp.o.d"
+  "CMakeFiles/fedl_sim.dir/environment.cpp.o"
+  "CMakeFiles/fedl_sim.dir/environment.cpp.o.d"
+  "libfedl_sim.a"
+  "libfedl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

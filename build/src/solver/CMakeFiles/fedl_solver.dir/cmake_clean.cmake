@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_solver.dir/projection.cpp.o"
+  "CMakeFiles/fedl_solver.dir/projection.cpp.o.d"
+  "CMakeFiles/fedl_solver.dir/prox_solver.cpp.o"
+  "CMakeFiles/fedl_solver.dir/prox_solver.cpp.o.d"
+  "libfedl_solver.a"
+  "libfedl_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

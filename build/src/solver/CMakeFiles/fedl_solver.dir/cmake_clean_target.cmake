@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedl_solver.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedl_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/fedl_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/fedl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/fedl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/fedl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fedl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fedl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedl_tensor.dir/tensor.cpp.o.d"
+  "libfedl_tensor.a"
+  "libfedl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

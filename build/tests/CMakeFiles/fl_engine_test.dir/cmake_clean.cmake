@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_engine_test.dir/fl_engine_test.cpp.o"
+  "CMakeFiles/fl_engine_test.dir/fl_engine_test.cpp.o.d"
+  "fl_engine_test"
+  "fl_engine_test.pdb"
+  "fl_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idx_bandwidth_test.dir/idx_bandwidth_test.cpp.o"
+  "CMakeFiles/idx_bandwidth_test.dir/idx_bandwidth_test.cpp.o.d"
+  "idx_bandwidth_test"
+  "idx_bandwidth_test.pdb"
+  "idx_bandwidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idx_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

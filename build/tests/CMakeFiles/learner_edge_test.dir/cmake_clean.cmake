@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_edge_test.dir/learner_edge_test.cpp.o"
+  "CMakeFiles/learner_edge_test.dir/learner_edge_test.cpp.o.d"
+  "learner_edge_test"
+  "learner_edge_test.pdb"
+  "learner_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

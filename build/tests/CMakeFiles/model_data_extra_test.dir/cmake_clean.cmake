@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_data_extra_test.dir/model_data_extra_test.cpp.o"
+  "CMakeFiles/model_data_extra_test.dir/model_data_extra_test.cpp.o.d"
+  "model_data_extra_test"
+  "model_data_extra_test.pdb"
+  "model_data_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_data_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_report_test.dir/oracle_report_test.cpp.o"
+  "CMakeFiles/oracle_report_test.dir/oracle_report_test.cpp.o.d"
+  "oracle_report_test"
+  "oracle_report_test.pdb"
+  "oracle_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
