@@ -42,6 +42,9 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   cfg.dane.sgd_steps =
       static_cast<std::size_t>(flags.get_int("sgd-steps", 3));
+  // Per-client training fan-out (--threads 0 = all cores). Thread count
+  // never changes the numbers, only the wall clock.
+  cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 1));
   return cfg;
 }
 

@@ -13,13 +13,20 @@ CompressedUpdate NoneCompressor::apply(const ParamVec& d,
   return {d, 32.0 * static_cast<double>(d.size())};
 }
 
-QuantizeCompressor::QuantizeCompressor(std::uint8_t bits, std::uint64_t seed)
-    : bits_(bits), rng_(seed) {}
+QuantizeCompressor::QuantizeCompressor(std::uint8_t bits,
+                                       std::size_t num_clients,
+                                       std::uint64_t seed)
+    : bits_(bits) {
+  FEDL_CHECK_GT(num_clients, 0u);
+  Rng parent(seed);
+  rngs_.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) rngs_.push_back(parent.split());
+}
 
 CompressedUpdate QuantizeCompressor::apply(const ParamVec& d,
                                            std::size_t client) {
-  (void)client;
-  const QuantizedVec q = quantize(d, bits_, rng_);
+  FEDL_CHECK_LT(client, rngs_.size());
+  const QuantizedVec q = quantize(d, bits_, rngs_[client]);
   return {dequantize(q), q.payload_bits()};
 }
 
@@ -48,8 +55,10 @@ std::string TopKCompressor::name() const {
 CompressorPtr make_compressor(const std::string& name,
                               std::size_t num_clients, std::uint64_t seed) {
   if (name == "none") return std::make_unique<NoneCompressor>();
-  if (name == "quant8") return std::make_unique<QuantizeCompressor>(8, seed);
-  if (name == "quant4") return std::make_unique<QuantizeCompressor>(4, seed);
+  if (name == "quant8")
+    return std::make_unique<QuantizeCompressor>(8, num_clients, seed);
+  if (name == "quant4")
+    return std::make_unique<QuantizeCompressor>(4, num_clients, seed);
   if (name == "topk10")
     return std::make_unique<TopKCompressor>(0.10, num_clients);
   if (name == "topk1")

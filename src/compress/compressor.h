@@ -25,7 +25,11 @@ struct CompressedUpdate {
 class Compressor {
  public:
   virtual ~Compressor() = default;
-  // `client` keys per-client state (e.g. error feedback).
+  // `client` keys per-client state (e.g. error feedback, RNG stream).
+  // Thread-safety contract: concurrent apply() calls are safe as long as
+  // every in-flight call uses a distinct `client` — all mutable state is
+  // partitioned per client, which is what lets the FL engine compress the
+  // selected clients' updates in parallel.
   virtual CompressedUpdate apply(const ParamVec& d, std::size_t client) = 0;
   virtual std::string name() const = 0;
 };
@@ -39,16 +43,19 @@ class NoneCompressor : public Compressor {
   std::string name() const override { return "none"; }
 };
 
-// Stochastic quantization to `bits` per parameter.
+// Stochastic quantization to `bits` per parameter. Each client draws its
+// rounding randomness from its own forked RNG stream, so quantization is
+// independent of the order (or concurrency) in which clients are processed.
 class QuantizeCompressor : public Compressor {
  public:
-  QuantizeCompressor(std::uint8_t bits, std::uint64_t seed);
+  QuantizeCompressor(std::uint8_t bits, std::size_t num_clients,
+                     std::uint64_t seed);
   CompressedUpdate apply(const ParamVec& d, std::size_t client) override;
   std::string name() const override;
 
  private:
   std::uint8_t bits_;
-  Rng rng_;
+  std::vector<Rng> rngs_;  // one stream per client
 };
 
 // Top-k with per-client error feedback; `fraction` of coordinates kept.

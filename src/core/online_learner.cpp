@@ -63,16 +63,39 @@ FractionalDecision OnlineLearner::decide(const sim::EpochContext& ctx,
   }
 
   // --- feasible set -------------------------------------------------------
-  const std::size_t n_eff = std::min<std::size_t>(cfg_.n_min, k);
   const double n_d = static_cast<double>(cfg_.n_min);
+
+  // When the remaining budget cannot rent the n_min cheapest clients, the
+  // constraints Σx ≥ n_eff and Σc·x ≤ cap would contradict each other (the
+  // n_eff cheapest unit selections already overshoot the cap). Shrink the
+  // participation floor to the largest affordable prefix of the cost-sorted
+  // clients; when not even the single cheapest client is affordable, the
+  // epoch is infeasible and the decision is empty (select nobody, spend
+  // nothing) — the ledger must never overdraw.
+  std::vector<double> sorted_cost = cost;
+  std::sort(sorted_cost.begin(), sorted_cost.end());
+  std::size_t n_eff = std::min<std::size_t>(cfg_.n_min, k);
+  double cheapest_n = 0.0;
+  {
+    double prefix = 0.0;
+    std::size_t affordable = 0;
+    for (std::size_t i = 0; i < n_eff; ++i) {
+      prefix += sorted_cost[i];
+      if (prefix > budget.remaining()) break;
+      cheapest_n = prefix;
+      ++affordable;
+    }
+    if (affordable == 0) {
+      dec.ids.clear();
+      return dec;
+    }
+    n_eff = affordable;
+  }
 
   // Budget pacing: spend roughly pacing·n·c̄ per epoch so the horizon lands
   // inside the paper's T_C range, but never plan beyond what remains, and
-  // always leave enough room for the n cheapest clients when affordable.
-  std::vector<double> sorted_cost = cost;
-  std::sort(sorted_cost.begin(), sorted_cost.end());
-  double cheapest_n = 0.0;
-  for (std::size_t i = 0; i < n_eff; ++i) cheapest_n += sorted_cost[i];
+  // always leave enough room for the n_eff cheapest clients (affordable by
+  // construction above).
   const double mean_cost =
       std::accumulate(cost.begin(), cost.end(), 0.0) / static_cast<double>(k);
   double cap = cfg_.pacing * n_d * mean_cost;
@@ -174,18 +197,31 @@ void OnlineLearner::observe(const sim::EpochContext& ctx,
                             const fl::EpochOutcome& outcome) {
   // --- estimate updates -----------------------------------------------------
   last_loss_ = outcome.train_loss_all;
-  const double iters =
-      std::max<double>(1.0, static_cast<double>(outcome.num_iterations));
+  // Per-client completed-iteration counts: a client that dropped before
+  // finishing a single DANE iteration produced no η/Δ observation, so its
+  // estimates must not be updated (EMAing η̂ toward the placeholder 0 would
+  // make the learner treat flaky clients as fast convergers). Engines that
+  // predate client_completed_iters report an empty vector: fall back to the
+  // epoch-wide iteration count.
+  auto completed = [&](std::size_t i) -> double {
+    if (i < outcome.client_completed_iters.size())
+      return static_cast<double>(outcome.client_completed_iters[i]);
+    return static_cast<double>(outcome.num_iterations);
+  };
   for (std::size_t i = 0; i < outcome.selected.size(); ++i) {
     const std::size_t id = outcome.selected[i];
     FEDL_CHECK_LT(id, num_clients_);
+    const double iters = completed(i);
+    if (iters <= 0.0) continue;  // dropped at iteration 0: nothing observed
     if (i < outcome.client_eta.size()) {
       eta_est_[id] = (1.0 - cfg_.ema) * eta_est_[id] +
                      cfg_.ema * outcome.client_eta[i];
     }
     if (i < outcome.client_loss_reduction.size()) {
-      // Marginal reduction is measured per DANE iteration; floor at zero so
-      // one noisy epoch can't turn a client's estimate negative forever.
+      // The engine accumulates the reduction over the iterations the client
+      // actually completed; dividing by that count gives the per-iteration
+      // marginal Δ̂. Floor at zero so one noisy epoch can't turn a client's
+      // estimate negative forever.
       const double per_iter =
           positive_part(outcome.client_loss_reduction[i]) / iters;
       delta_est_[id] =
@@ -202,7 +238,7 @@ void OnlineLearner::observe(const sim::EpochContext& ctx,
 
   std::vector<double> eta_obs(num_clients_, -1.0);
   for (std::size_t i = 0; i < outcome.selected.size(); ++i)
-    if (i < outcome.client_eta.size())
+    if (i < outcome.client_eta.size() && completed(i) > 0.0)
       eta_obs[outcome.selected[i]] = outcome.client_eta[i];
 
   for (std::size_t i = 0; i < frac.ids.size(); ++i) {

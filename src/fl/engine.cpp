@@ -1,8 +1,10 @@
 #include "fl/engine.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
+#include "parallel/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace fedl::fl {
@@ -25,6 +27,29 @@ FlEngine::FlEngine(const data::Dataset* train, const data::Dataset* test,
   test_batch_ = test_->head(cfg_.eval_cap);
   compressor_ = compress::make_compressor(cfg_.compressor,
                                           env_->num_clients(), cfg_.seed ^ 0x5eedULL);
+  const std::size_t threads =
+      cfg_.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : cfg_.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void FlEngine::run_clients(const std::vector<std::size_t>& idx,
+                           const std::function<void(std::size_t)>& body) {
+  if (!pool_ || idx.size() <= 1) {
+    for (std::size_t i : idx) body(i);
+    return;
+  }
+  parallel_for(*pool_, 0, idx.size(),
+               [&](std::size_t j) { body(idx[j]); });
+}
+
+nn::Model* FlEngine::client_scratch(std::size_t i) {
+  // Replicas are grown on the main thread (run_epoch) before any fan-out, so
+  // indexing here is safe from worker threads.
+  if (!pool_) return &model_;
+  FEDL_CHECK_LT(i, replicas_.size());
+  return &replicas_[i];
 }
 
 void FlEngine::set_global_params(nn::ParamVec w) {
@@ -92,6 +117,12 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
 
     out.client_eta.assign(s, 0.0);
     out.client_loss_reduction.assign(s, 0.0);
+    out.client_completed_iters.assign(s, 0);
+
+    // Grow the scratch-model pool before any fan-out so worker threads only
+    // ever index it (one independent replica per selected client).
+    if (pool_)
+      while (replicas_.size() < s) replicas_.push_back(model_.clone());
 
     std::vector<double> payload_bits(s, 0.0);  // last iteration's uplink size
 
@@ -111,49 +142,60 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
       return it < drop_iter[i];
     };
 
+    // Per-client scratch buffers reused across iterations; slot i is only
+    // ever touched by the task working on client i, so fan-outs are race
+    // free and the ordered reductions below are deterministic at any thread
+    // count (bit-identical to running the clients inline).
+    std::vector<nn::ParamVec> grads(s);
+    std::vector<LocalUpdate> updates(s);
+    std::vector<compress::CompressedUpdate> compressed(s);
+
     nn::ParamVec global_grad;  // ḡ from the previous phase (empty: bootstrap)
     for (std::size_t it = 0; it < iterations; ++it) {
-      // Phase 1 (server): aggregate ∇F_k(w) into ḡ = Σ ϑ_k ∇F_k(w) over the
-      // clients still alive this iteration (weights renormalized).
+      // Clients still alive this iteration (weights renormalized).
+      std::vector<std::size_t> alive_idx;
+      alive_idx.reserve(s);
       double alive_weight = 0.0;
-      std::size_t alive_count = 0;
       for (std::size_t i = 0; i < s; ++i) {
         if (!alive(i, it)) continue;
+        alive_idx.push_back(i);
         alive_weight += weights[i];
-        ++alive_count;
       }
-      if (alive_count == 0) break;  // every participant failed: epoch ends
+      if (alive_idx.empty()) break;  // every participant failed: epoch ends
+      for (std::size_t i : alive_idx) ++out.client_completed_iters[i];
 
+      // Phase 1 (clients, concurrent): local gradients ∇F_k(w); then the
+      // server reduces ḡ = Σ ϑ_k ∇F_k(w) in client order.
+      run_clients(alive_idx, [&](std::size_t i) {
+        LocalOracle oracle(client_scratch(i), &batches[i]);
+        oracle.loss_grad(w_, &grads[i]);
+      });
       nn::ParamVec gbar(p, 0.0f);
-      for (std::size_t i = 0; i < s; ++i) {
-        if (!alive(i, it)) continue;
-        LocalOracle oracle(&model_, &batches[i]);
-        nn::ParamVec g;
-        oracle.loss_grad(w_, &g);
-        axpy(static_cast<float>(weights[i] / alive_weight), g, gbar);
-      }
+      for (std::size_t i : alive_idx)
+        axpy(static_cast<float>(weights[i] / alive_weight), grads[i], gbar);
       global_grad = std::move(gbar);
 
-      // Phase 2 (clients): DANE corrections, compressed for the uplink.
-      nn::ParamVec agg(p, 0.0f);
-      for (std::size_t i = 0; i < s; ++i) {
-        if (!alive(i, it)) continue;
-        LocalOracle oracle(&model_, &batches[i]);
-        LocalUpdate upd =
-            dane_local_step(oracle, w_, global_grad, cfg_.dane);
-        out.client_eta[i] = std::max(out.client_eta[i], upd.eta);
-        out.client_loss_reduction[i] = upd.loss_before - upd.loss_after;
-        const compress::CompressedUpdate cu =
-            compressor_->apply(upd.d, selected[i]);
-        payload_bits[i] = cu.payload_bits;
-        axpy(1.0f, cu.restored, agg);
-      }
+      // Phase 2 (clients, concurrent): DANE corrections, compressed for the
+      // uplink; per-client compressor state keeps concurrent calls safe.
+      run_clients(alive_idx, [&](std::size_t i) {
+        LocalOracle oracle(client_scratch(i), &batches[i]);
+        updates[i] = dane_local_step(oracle, w_, global_grad, cfg_.dane);
+        compressed[i] = compressor_->apply(updates[i].d, selected[i]);
+      });
 
-      // Phase 3 (server): aggregate the corrections into the global model.
+      // Phase 3 (server): ordered reduction into the global model.
+      nn::ParamVec agg(p, 0.0f);
+      for (std::size_t i : alive_idx) {
+        out.client_eta[i] = std::max(out.client_eta[i], updates[i].eta);
+        out.client_loss_reduction[i] +=
+            updates[i].loss_before - updates[i].loss_after;
+        payload_bits[i] = compressed[i].payload_bits;
+        axpy(1.0f, compressed[i].restored, agg);
+      }
       const double denom =
           cfg_.aggregation == AggregationRule::kPaperMean
               ? static_cast<double>(ctx.available.size())
-              : static_cast<double>(alive_count);
+              : static_cast<double>(alive_idx.size());
       axpy(static_cast<float>(1.0 / denom), agg, w_);
     }
     for (double e : out.client_eta) out.eta_max = std::max(out.eta_max, e);

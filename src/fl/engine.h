@@ -11,10 +11,14 @@
 #include <cstdint>
 #include <vector>
 
+#include <functional>
+#include <memory>
+
 #include "compress/compressor.h"
 #include "data/dataset.h"
 #include "fl/dane.h"
 #include "nn/model.h"
+#include "parallel/thread_pool.h"
 #include "sim/environment.h"
 
 namespace fedl::fl {
@@ -46,6 +50,13 @@ struct EngineConfig {
   // Uplink update compression ("none", "quant8", "quant4", "topk10",
   // "topk1"); "none" reproduces the paper's constant payload s.
   std::string compressor = "none";
+  // Worker threads for the per-client inner loops (the paper's cost model
+  // d_k(t) = l_t(τ^loc + τ^cm) assumes clients train concurrently). 1 runs
+  // the clients inline on the caller; 0 picks hardware_concurrency(). Any
+  // value produces bit-identical EpochOutcomes: per-client work is
+  // independent (thread-local model replicas, per-client compressor state)
+  // and the aggregation reduces in client order on the calling thread.
+  std::size_t num_threads = 1;
   std::uint64_t seed = 17;
 };
 
@@ -58,8 +69,12 @@ struct EpochOutcome {
   double eta_max = 0.0;    // η_t = max_{k,i} η^i_{t,k}
   // Parallel to `selected`:
   std::vector<double> client_eta;             // max over iterations per client
-  std::vector<double> client_loss_reduction;  // F_k(w)−F_k(w+d), last iter
+  std::vector<double> client_loss_reduction;  // Σ_i F_k(w)−F_k(w+d), all iters
   std::vector<double> client_latency_s;       // d_k(t) realized
+  // DANE iterations each client actually completed before dropping (equals
+  // num_iterations for clients that survived the epoch). A client with zero
+  // completed iterations produced no η/Δ observation at all.
+  std::vector<std::size_t> client_completed_iters;
   double train_loss_selected = 0.0;  // F̃_t(w^{l_t})
   double train_loss_all = 0.0;       // F_t(w^{l_t})
   double test_loss = 0.0;
@@ -93,6 +108,17 @@ class FlEngine {
  private:
   nn::Batch client_batch(std::size_t client);
 
+  // Runs body(i) for every index in `idx` — on the pool when one exists,
+  // inline otherwise. Bodies must only touch per-index state; the call
+  // blocks until every index is done.
+  void run_clients(const std::vector<std::size_t>& idx,
+                   const std::function<void(std::size_t)>& body);
+
+  // Thread-local scratch model for the i-th selected client: a lazily grown
+  // clone pool when training in parallel, the shared scratch model when
+  // serial. Replicas persist across epochs so cloning is paid once.
+  nn::Model* client_scratch(std::size_t i);
+
   const data::Dataset* train_;
   const data::Dataset* test_;
   sim::EdgeEnvironment* env_;
@@ -102,6 +128,8 @@ class FlEngine {
   Rng rng_;
   nn::Batch test_batch_;  // cached eval subset
   compress::CompressorPtr compressor_;
+  std::unique_ptr<ThreadPool> pool_;  // null when cfg_.num_threads == 1
+  std::vector<nn::Model> replicas_;   // per-client scratch models (parallel)
 };
 
 }  // namespace fedl::fl

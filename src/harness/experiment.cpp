@@ -78,6 +78,7 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   ec.faults = cfg_.faults;
   ec.batch_cap = cfg_.batch_cap;
   ec.eval_cap = cfg_.eval_cap;
+  ec.num_threads = cfg_.num_threads;
   ec.seed = cfg_.seed * 47 + 19;
   fl::FlEngine engine(&data_.train, &data_.test, &env, build_model(), ec);
 

@@ -49,6 +49,9 @@ struct ScenarioConfig {
   fl::FaultSpec faults;
   // Server aggregation rule (paper formula vs selected-mean; DESIGN.md §4).
   fl::AggregationRule aggregation = fl::AggregationRule::kSelectedMean;
+  // Worker threads for per-client local training (FlEngine fan-out);
+  // 1 = serial, 0 = hardware concurrency. Results are identical either way.
+  std::size_t num_threads = 1;
   // When non-empty: load the global model from this checkpoint before the
   // run (if the file exists) and save it there after the run — long budget
   // sweeps survive interruption.

@@ -9,6 +9,7 @@ class Relu : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override { return std::make_unique<Relu>(*this); }
   std::string name() const override { return "relu"; }
 
  private:
@@ -20,6 +21,7 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override { return std::make_unique<Flatten>(*this); }
   std::string name() const override { return "flatten"; }
 
  private:

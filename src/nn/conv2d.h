@@ -21,6 +21,7 @@ class Conv2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  LayerPtr clone() const override { return std::make_unique<Conv2d>(*this); }
   std::string name() const override { return "conv2d"; }
 
   std::size_t out_channels() const { return out_channels_; }

@@ -17,6 +17,7 @@ class Dense : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  LayerPtr clone() const override { return std::make_unique<Dense>(*this); }
   std::string name() const override { return "dense"; }
 
   std::size_t in_features() const { return in_; }

@@ -30,6 +30,10 @@ class Layer {
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
 
+  // Deep copy, including parameters. Forward/backward caches need not be
+  // preserved; the clone must behave identically on the next forward pass.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
   virtual std::string name() const = 0;
 
   void zero_grad() {

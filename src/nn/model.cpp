@@ -7,6 +7,13 @@ void Model::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
 }
 
+Model Model::clone() const {
+  Model out(l2_reg_);
+  out.layers_.reserve(layers_.size());
+  for (const auto& layer : layers_) out.layers_.push_back(layer->clone());
+  return out;
+}
+
 Tensor Model::forward(const Tensor& x, bool train) {
   FEDL_CHECK(!layers_.empty());
   Tensor cur = x;

@@ -43,6 +43,11 @@ class Model {
   void add(LayerPtr layer);
   std::size_t num_layers() const { return layers_.size(); }
 
+  // Deep copy: independent parameter/gradient buffers with identical values.
+  // The FL engine clones one replica per concurrently-training client so
+  // LocalOracle scratch state is never shared between threads.
+  Model clone() const;
+
   // Forward pass to logits.
   Tensor forward(const Tensor& x, bool train);
 

@@ -13,6 +13,7 @@ class MaxPool2d : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override { return std::make_unique<MaxPool2d>(*this); }
   std::string name() const override { return "maxpool2d"; }
 
  private:

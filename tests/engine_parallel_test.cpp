@@ -1,0 +1,182 @@
+// Determinism tests for the parallel FL engine: run_epoch with any
+// num_threads must produce bit-identical EpochOutcomes and global parameters
+// to the serial path (the per-client fan-out only changes wall-clock, never
+// numbers), including under mid-epoch faults and update compression.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/engine.h"
+#include "nn/factory.h"
+
+namespace fedl::fl {
+namespace {
+
+struct World {
+  World(std::size_t clients, std::uint64_t seed, EngineConfig ec) {
+    data = std::make_unique<data::TrainTest>(data::make_synthetic_train_test(
+        data::fmnist_like_spec(400, seed), 100));
+    Rng prng(seed);
+    auto part = data::partition_iid(data->train, clients, prng);
+    sim::EnvironmentSpec es;
+    es.num_clients = clients;
+    es.device.seed = seed + 1;
+    es.device.availability_prob = 1.0;
+    es.channel.seed = seed + 2;
+    es.online.seed = seed + 3;
+    env = std::make_unique<sim::EdgeEnvironment>(es, part);
+
+    Rng mrng(seed + 4);
+    nn::ModelSpec ms;
+    ms.width_scale = 0.05;
+    ec.batch_cap = 16;
+    ec.eval_cap = 64;
+    ec.seed = seed + 5;
+    engine = std::make_unique<FlEngine>(&data->train, &data->test, env.get(),
+                                        nn::make_fmnist_cnn(ms, mrng), ec);
+  }
+
+  std::unique_ptr<data::TrainTest> data;
+  std::unique_ptr<sim::EdgeEnvironment> env;
+  std::unique_ptr<FlEngine> engine;
+};
+
+struct Trajectory {
+  std::vector<EpochOutcome> outcomes;
+  nn::ParamVec final_params;
+};
+
+// Runs `epochs` full-participation epochs of `iters` DANE iterations.
+Trajectory run_trajectory(std::size_t clients, std::uint64_t seed,
+                          EngineConfig ec, std::size_t epochs,
+                          std::size_t iters) {
+  World w(clients, seed, ec);
+  Trajectory t;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto& ctx = w.env->advance_epoch();
+    std::vector<std::size_t> sel;
+    for (const auto& o : ctx.available) sel.push_back(o.id);
+    t.outcomes.push_back(w.engine->run_epoch(sel, iters));
+  }
+  t.final_params = w.engine->global_params();
+  return t;
+}
+
+void expect_identical(const Trajectory& a, const Trajectory& b,
+                      std::size_t threads) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t e = 0; e < a.outcomes.size(); ++e) {
+    const EpochOutcome& x = a.outcomes[e];
+    const EpochOutcome& y = b.outcomes[e];
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " epoch=" +
+                 std::to_string(e));
+    EXPECT_EQ(x.selected, y.selected);
+    EXPECT_EQ(x.num_iterations, y.num_iterations);
+    EXPECT_EQ(x.latency_s, y.latency_s);
+    EXPECT_EQ(x.cost, y.cost);
+    EXPECT_EQ(x.eta_max, y.eta_max);
+    EXPECT_EQ(x.client_eta, y.client_eta);
+    EXPECT_EQ(x.client_loss_reduction, y.client_loss_reduction);
+    EXPECT_EQ(x.client_latency_s, y.client_latency_s);
+    EXPECT_EQ(x.client_completed_iters, y.client_completed_iters);
+    EXPECT_EQ(x.train_loss_selected, y.train_loss_selected);
+    EXPECT_EQ(x.train_loss_all, y.train_loss_all);
+    EXPECT_EQ(x.test_loss, y.test_loss);
+    EXPECT_EQ(x.test_accuracy, y.test_accuracy);
+    EXPECT_EQ(x.num_dropped, y.num_dropped);
+  }
+  EXPECT_EQ(a.final_params, b.final_params);  // bit-identical weights
+}
+
+TEST(EngineParallel, GoldenTrajectoryMatchesSerialAtAnyThreadCount) {
+  EngineConfig ec;
+  ec.dane.sgd_steps = 2;
+  ec.num_threads = 1;
+  const Trajectory serial = run_trajectory(8, 211, ec, 3, 2);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    EngineConfig pc = ec;
+    pc.num_threads = threads;
+    expect_identical(serial, run_trajectory(8, 211, pc, 3, 2), threads);
+  }
+}
+
+TEST(EngineParallel, FaultsInteractDeterministicallyWithParallelism) {
+  // Fault draws happen on the calling thread before the fan-out, so dropouts
+  // (and the partial aggregation they induce) are identical at any thread
+  // count.
+  EngineConfig ec;
+  ec.dane.sgd_steps = 2;
+  ec.faults.dropout_prob = 0.4;
+  ec.num_threads = 1;
+  const Trajectory serial = run_trajectory(6, 223, ec, 3, 4);
+  std::size_t dropped = 0;
+  for (const auto& out : serial.outcomes) dropped += out.num_dropped;
+  ASSERT_GT(dropped, 0u) << "fixture must actually exercise dropouts";
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    EngineConfig pc = ec;
+    pc.num_threads = threads;
+    expect_identical(serial, run_trajectory(6, 223, pc, 3, 4), threads);
+  }
+}
+
+TEST(EngineParallel, CompressedUplinksStayDeterministic) {
+  // Stochastic quantization draws from per-client RNG streams, so compressed
+  // payloads are independent of processing order and concurrency.
+  EngineConfig ec;
+  ec.dane.sgd_steps = 2;
+  ec.compressor = "quant8";
+  ec.num_threads = 1;
+  const Trajectory serial = run_trajectory(6, 227, ec, 2, 2);
+  for (std::size_t threads : {2u, 8u}) {
+    EngineConfig pc = ec;
+    pc.num_threads = threads;
+    expect_identical(serial, run_trajectory(6, 227, pc, 2, 2), threads);
+  }
+}
+
+TEST(EngineParallel, CompletedIterationBookkeeping) {
+  EngineConfig ec;
+  ec.dane.sgd_steps = 2;
+  ec.faults.dropout_prob = 0.5;
+  ec.num_threads = 4;
+  World w(6, 229, ec);
+  const auto& ctx = w.env->advance_epoch();
+  std::vector<std::size_t> sel;
+  for (const auto& o : ctx.available) sel.push_back(o.id);
+  const std::size_t iters = 4;
+  const EpochOutcome out = w.engine->run_epoch(sel, iters);
+
+  ASSERT_EQ(out.client_completed_iters.size(), sel.size());
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    EXPECT_LE(out.client_completed_iters[i], iters);
+    if (out.client_completed_iters[i] < iters) ++dropped;
+    // Zero completed iterations means no η observation was ever recorded.
+    if (out.client_completed_iters[i] == 0) {
+      EXPECT_EQ(out.client_eta[i], 0.0);
+    }
+  }
+  EXPECT_EQ(dropped, out.num_dropped);
+}
+
+TEST(EngineParallel, AccumulatedLossReductionGrowsWithIterations) {
+  // The per-client reduction is accumulated across the epoch's DANE
+  // iterations (not overwritten with the last iteration's marginal), so a
+  // 3-iteration epoch must report at least the single-iteration reduction
+  // for every client — both start from the same initial model.
+  EngineConfig ec;
+  ec.dane.sgd_steps = 2;
+  const Trajectory one = run_trajectory(5, 233, ec, 1, 1);
+  const Trajectory three = run_trajectory(5, 233, ec, 1, 3);
+  const auto& r1 = one.outcomes[0].client_loss_reduction;
+  const auto& r3 = three.outcomes[0].client_loss_reduction;
+  ASSERT_EQ(r1.size(), r3.size());
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_GE(r3[i], r1[i] - 1e-9) << "client " << i;
+}
+
+}  // namespace
+}  // namespace fedl::fl

@@ -130,17 +130,116 @@ TEST(LearnerEdge, HigherDeltaEstimateRaisesSelectionPressure) {
   EXPECT_GT(learner.delta_estimate(0), learner.delta_estimate(1));
 }
 
-TEST(LearnerEdge, ZeroBudgetRemainingStillWellDefined) {
+TEST(LearnerEdge, ZeroBudgetRemainingYieldsEmptyDecision) {
   OnlineLearner learner(3, cfg_n(2));
   BudgetLedger budget(10.0);
-  budget.charge(10.0);  // remaining == 0
+  budget.charge(10.0);  // remaining == 0: not even one client is affordable
   const auto dec = learner.decide(
       ctx_with({client(0, 1, 0.1), client(1, 1, 0.2), client(2, 1, 0.3)}),
       budget);
-  // Fractions exist (the cap floors at the cheapest-n heuristic); the
-  // integer-level repair in FedLStrategy is what enforces the hard budget.
+  // Handing the prox solver Σx ≥ n alongside Σc·x ≤ 0 would be contradictory;
+  // the learner must instead declare the epoch infeasible.
+  EXPECT_TRUE(dec.ids.empty());
+  EXPECT_TRUE(dec.x.empty());
+}
+
+TEST(LearnerEdge, ExhaustedBudgetShrinksParticipationFloor) {
+  // remaining = 2.5 affords only the cheapest client (1.0; adding the next
+  // at 2.0 overshoots). The learner must shrink n_eff to that affordable
+  // prefix instead of building an infeasible set, and the resulting plan
+  // must itself respect the remaining budget.
+  OnlineLearner learner(3, cfg_n(3));
+  BudgetLedger budget(100.0);
+  budget.charge(97.5);
+  const auto dec = learner.decide(
+      ctx_with({client(0, 1.0, 0.1), client(1, 2.0, 0.2),
+                client(2, 5.0, 0.3)}),
+      budget);
   ASSERT_EQ(dec.x.size(), 3u);
-  for (double x : dec.x) EXPECT_TRUE(std::isfinite(x));
+  double planned = 0.0;
+  const double costs[] = {1.0, 2.0, 5.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(dec.x[i]));
+    planned += dec.x[i] * costs[i];
+  }
+  EXPECT_LE(planned, budget.remaining() + 1e-6);
+}
+
+TEST(LearnerEdge, LedgerNeverOverdrawsUnderFedL) {
+  // Regression for the budget-exhaustion infeasibility: drive FedL until its
+  // decisions go empty and verify the ledger never spends past the total.
+  FedLConfig fc;
+  fc.learner.n_min = 2;
+  FedLStrategy s(4, fc);
+  BudgetLedger budget(10.0);
+  const auto ctx = ctx_with({client(0, 1.5, 0.1), client(1, 2.0, 0.2),
+                             client(2, 2.5, 0.3), client(3, 3.0, 0.4)});
+  for (int t = 0; t < 50; ++t) {
+    const auto d = s.decide(ctx, budget);
+    double epoch_cost = 0.0;
+    for (std::size_t id : d.selected) epoch_cost += ctx.find(id)->cost;
+    ASSERT_LE(epoch_cost, budget.remaining() + 1e-9) << "epoch " << t;
+    budget.charge(epoch_cost);
+    fl::EpochOutcome out;
+    out.selected = d.selected;
+    out.num_iterations = d.selected.empty() ? 0 : 1;
+    out.client_eta.assign(d.selected.size(), 0.5);
+    out.client_loss_reduction.assign(d.selected.size(), 0.1);
+    out.client_completed_iters.assign(d.selected.size(), 1);
+    out.train_loss_all = 1.0;
+    s.observe(ctx, d, out);
+    if (d.selected.empty()) break;
+  }
+  EXPECT_LE(budget.spent(), budget.total() + 1e-9);
+}
+
+TEST(LearnerEdge, ZeroCompletedIterationsLeaveEstimatesUntouched) {
+  // A client that died before finishing one DANE iteration reports η = 0 as
+  // a placeholder; EMAing that in would make flaky clients look like fast
+  // convergers (η̂ → 0). The learner must skip the update entirely.
+  LearnerConfig cfg = cfg_n(1);
+  cfg.ema = 1.0;  // any accepted observation fully overwrites the estimate
+  OnlineLearner learner(2, cfg);
+  BudgetLedger budget(100.0);
+  const auto ctx = ctx_with({client(0, 1, 0.1), client(1, 1, 0.2)});
+  const double eta0 = learner.eta_estimate(0);
+  const double delta0 = learner.delta_estimate(0);
+
+  const auto frac = learner.decide(ctx, budget);
+  fl::EpochOutcome out;
+  out.selected = {0, 1};
+  out.num_iterations = 3;
+  out.client_eta = {0.0, 0.7};             // client 0 dropped at iteration 0
+  out.client_loss_reduction = {0.0, 0.6};
+  out.client_completed_iters = {0, 3};
+  out.train_loss_all = 1.0;
+  learner.observe(ctx, frac, out);
+
+  EXPECT_EQ(learner.eta_estimate(0), eta0);
+  EXPECT_EQ(learner.delta_estimate(0), delta0);
+  EXPECT_NEAR(learner.eta_estimate(1), 0.7, 1e-12);
+  EXPECT_NEAR(learner.delta_estimate(1), 0.2, 1e-12);  // 0.6 over 3 iters
+}
+
+TEST(LearnerEdge, DeltaEstimateDividesByClientCompletedIters) {
+  // A client that completed 2 of the epoch's 4 iterations accumulated its
+  // reduction over exactly those 2 — dividing by the epoch-wide count would
+  // bias Δ̂ low by 2x.
+  LearnerConfig cfg = cfg_n(1);
+  cfg.ema = 1.0;
+  OnlineLearner learner(1, cfg);
+  BudgetLedger budget(100.0);
+  const auto ctx = ctx_with({client(0, 1, 0.1)});
+  const auto frac = learner.decide(ctx, budget);
+  fl::EpochOutcome out;
+  out.selected = {0};
+  out.num_iterations = 4;
+  out.client_eta = {0.5};
+  out.client_loss_reduction = {0.8};  // accumulated over 2 completed iters
+  out.client_completed_iters = {2};
+  out.train_loss_all = 1.0;
+  learner.observe(ctx, frac, out);
+  EXPECT_NEAR(learner.delta_estimate(0), 0.4, 1e-12);
 }
 
 // --- FedL strategy edges -------------------------------------------------------

@@ -320,5 +320,34 @@ TEST(Model, EvaluateMatchesForwardBackwardLoss) {
   EXPECT_NEAR(l1, l2, 1e-9);
 }
 
+TEST(Model, CloneIsDeepAndBehaviorallyIdentical) {
+  // clone() backs the FL engine's per-thread scratch replicas: it must copy
+  // parameters exactly and share no buffers with the original.
+  Rng rng(20);
+  ModelSpec ms;
+  ms.width_scale = 0.05;
+  Model m = make_fmnist_cnn(ms, rng);
+  Batch b = make_random_batch(Shape{2, 1, 28, 28}, 10, rng);
+
+  Model c = m.clone();
+  EXPECT_EQ(c.num_layers(), m.num_layers());
+  EXPECT_EQ(c.num_params(), m.num_params());
+  EXPECT_EQ(c.params_flat(), m.params_flat());
+  EXPECT_EQ(c.l2_reg(), m.l2_reg());
+
+  // Same forward/backward numbers, bit for bit.
+  const EvalResult rm = m.forward_backward(b);
+  const EvalResult rc = c.forward_backward(b);
+  EXPECT_EQ(rm.loss, rc.loss);
+  EXPECT_EQ(rm.accuracy, rc.accuracy);
+  EXPECT_EQ(m.grads_flat(), c.grads_flat());
+
+  // Mutating the clone leaves the original untouched (deep copy).
+  ParamVec w = c.params_flat();
+  for (auto& v : w) v += 1.0f;
+  c.set_params_flat(w);
+  EXPECT_NE(c.params_flat(), m.params_flat());
+}
+
 }  // namespace
 }  // namespace fedl::nn
