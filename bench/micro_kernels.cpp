@@ -11,6 +11,7 @@
 #include "solver/projection.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "tensor/simd_dispatch.h"
 
 namespace {
 
@@ -28,8 +29,34 @@ void BM_GemmSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
                           n * n * 2);
+  state.SetLabel(gemm_kernel_name(active_gemm_kernel()));
 }
-BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Same shape, each micro-kernel pinned explicitly: the delta between
+// /avx2 and /portable is the SIMD dispatch win in isolation.
+void BM_GemmKernel(benchmark::State& state, GemmKernel kernel) {
+  if (kernel == GemmKernel::kAvx2Fma && !cpu_supports_avx2_fma()) {
+    state.SkipWithError("CPU lacks AVX2+FMA");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  force_gemm_kernel(kernel);
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  force_gemm_kernel(
+      resolve_gemm_kernel(nullptr, cpu_supports_avx2_fma()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n * 2);
+}
+BENCHMARK_CAPTURE(BM_GemmKernel, avx2, GemmKernel::kAvx2Fma)->Arg(256);
+BENCHMARK_CAPTURE(BM_GemmKernel, portable, GemmKernel::kPortable)->Arg(256);
 
 void BM_GemmNaive(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -70,6 +97,28 @@ void BM_CnnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnForward);
+
+// Full training step (forward + backward) over a batch — exercises the
+// whole-batch conv pipeline: batched im2col, one GEMM per layer direction,
+// and the blocked deterministic weight-gradient reduction.
+void BM_CnnTrainStep(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::ModelSpec spec;
+  spec.width_scale = 0.25;
+  nn::Model model = nn::make_fmnist_cnn(spec, rng);
+  nn::Batch b;
+  b.x = Tensor::uniform(Shape{batch, 1, 28, 28}, -1.0f, 1.0f, rng);
+  b.y.resize(batch);
+  for (auto& y : b.y) y = static_cast<std::uint8_t>(rng.uniform_int(0, 9));
+  for (auto _ : state) {
+    auto r = model.forward_backward(b);
+    benchmark::DoNotOptimize(r.loss);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CnnTrainStep)->Arg(8)->Arg(32);
 
 void BM_DaneLocalStep(benchmark::State& state) {
   Rng rng(3);

@@ -1,11 +1,18 @@
 #!/bin/bash
 # Runs every bench binary and collects output; used for bench_output.txt.
-cd /root/repo
+# Also emits BENCH_micro_kernels.json (google-benchmark JSON) so the kernel
+# perf trajectory stays machine-readable across PRs.
+cd "$(dirname "$0")"
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "===== $(basename "$b") =====" >> bench_output.txt
-    "$b" >> bench_output.txt 2>&1
+    if [ "$(basename "$b")" = "micro_kernels" ]; then
+      "$b" --benchmark_out=BENCH_micro_kernels.json \
+           --benchmark_out_format=json >> bench_output.txt 2>&1
+    else
+      "$b" >> bench_output.txt 2>&1
+    fi
     echo "" >> bench_output.txt
   fi
 done

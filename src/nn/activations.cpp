@@ -4,8 +4,7 @@
 
 namespace fedl::nn {
 
-Tensor Relu::forward(const Tensor& input, bool train) {
-  Tensor out = input;
+Tensor Relu::forward(Tensor input, bool train) {
   if (train) {
     mask_ = Tensor(input.shape());
     float* m = mask_.data();
@@ -13,8 +12,9 @@ Tensor Relu::forward(const Tensor& input, bool train) {
     for (std::size_t i = 0; i < input.numel(); ++i)
       m[i] = in[i] > 0.0f ? 1.0f : 0.0f;
   }
-  relu_inplace(out);
-  return out;
+  // In-place on the consumed input buffer; no copy.
+  relu_inplace(input);
+  return input;
 }
 
 Tensor Relu::backward(const Tensor& grad_output) {
@@ -24,12 +24,11 @@ Tensor Relu::backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Flatten::forward(const Tensor& input, bool train) {
+Tensor Flatten::forward(Tensor input, bool train) {
   if (train) in_shape_ = input.shape();
   const std::size_t n = input.shape()[0];
-  Tensor out = input;
-  out.reshape(Shape{n, input.numel() / n});
-  return out;
+  input.reshape(Shape{n, input.numel() / n});
+  return input;
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {

@@ -7,7 +7,7 @@ namespace fedl::nn {
 
 class Relu : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   LayerPtr clone() const override { return std::make_unique<Relu>(*this); }
   std::string name() const override { return "relu"; }
@@ -19,7 +19,7 @@ class Relu : public Layer {
 // Collapses [N, C, H, W] (or any rank) into [N, rest].
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   LayerPtr clone() const override { return std::make_unique<Flatten>(*this); }
   std::string name() const override { return "flatten"; }

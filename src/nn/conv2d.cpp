@@ -1,12 +1,21 @@
 #include "nn/conv2d.h"
 
-#include <vector>
+#include <cstring>
 
 #include "common/rng.h"
 #include "parallel/parallel_for.h"
 #include "tensor/gemm.h"
 
 namespace fedl::nn {
+namespace {
+
+// Sample-block width of the weight-gradient reduction. Each block of up to
+// kDwBlockSamples samples produces one dW partial; partials are summed in
+// block order. Block boundaries depend only on the batch size, never on the
+// thread count, so the reduction is bit-identical at any parallelism.
+constexpr std::size_t kDwBlockSamples = 8;
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t pad,
@@ -22,7 +31,15 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   FEDL_CHECK_GT(geom_.out_w(), 0u);
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool train) {
+Conv2d::Conv2d(const Conv2d& other)
+    : geom_(other.geom_),
+      out_channels_(other.out_channels_),
+      weight_(other.weight_),
+      bias_(other.bias_),
+      grad_weight_(other.grad_weight_),
+      grad_bias_(other.grad_bias_) {}
+
+Tensor Conv2d::forward(Tensor input, bool train) {
   FEDL_CHECK_EQ(input.shape().rank(), 4u);
   FEDL_CHECK_EQ(input.shape()[1], geom_.in_channels);
   FEDL_CHECK_EQ(input.shape()[2], geom_.in_h);
@@ -30,65 +47,106 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   const std::size_t n = input.shape()[0];
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
-  Tensor out(Shape{n, out_channels_, oh, ow});
-
+  const std::size_t colr = geom_.col_rows();
+  const std::size_t colc = geom_.col_cols();
+  const std::size_t ncols = n * colc;
   const std::size_t image_elems = geom_.in_channels * geom_.in_h * geom_.in_w;
-  const std::size_t out_elems = out_channels_ * oh * ow;
 
-  // Samples are independent in forward: parallelize across the batch with a
-  // per-iteration column buffer (thread_local avoids reallocation).
+  // Lower the whole batch into one [colr, n*colc] column buffer: sample s
+  // owns the column slice [s*colc, (s+1)*colc). Train mode keeps this
+  // buffer as the backward cache (the input itself is not retained). Eval
+  // mode uses separate scratch so an eval forward between a train forward
+  // and its backward cannot clobber the cache.
+  Workspace& colws = train ? cols_ : scratch_cols_;
+  float* cols = colws.ensure(colr * ncols);
   parallel_for(0, n, [&](std::size_t s) {
-    thread_local std::vector<float> cols;
-    cols.resize(geom_.col_rows() * geom_.col_cols());
-    im2col(geom_, input.data() + s * image_elems, cols.data());
-    float* dst = out.data() + s * out_elems;
-    // [C_out, colr] x [colr, colc] -> [C_out, oh*ow]
-    gemm(false, false, out_channels_, geom_.col_cols(), geom_.col_rows(), 1.0f,
-         weight_.data(), cols.data(), 0.0f, dst);
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      float* plane = dst + c * oh * ow;
-      const float b = bias_[c];
-      for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += b;
-    }
+    im2col(geom_, input.data() + s * image_elems, cols + s * colc, ncols);
   });
-  if (train) cached_input_ = input;
+
+  // One GEMM for the whole batch, bias fused into the write-back:
+  // [C_out, colr] x [colr, n*colc] -> [C_out, n*colc], channel-major.
+  float* oc = out_cols_.ensure(out_channels_ * ncols);
+  gemm_bias(false, false, out_channels_, ncols, colr, 1.0f, weight_.data(),
+            cols, 0.0f, oc, BiasMode::kPerRow, bias_.data());
+
+  // Scatter channel-major rows back to NCHW: out[s, c, :] = oc[c, s-slice].
+  Tensor out(Shape{n, out_channels_, oh, ow});
+  float* dst = out.data();
+  parallel_for(0, n, [&](std::size_t s) {
+    for (std::size_t c = 0; c < out_channels_; ++c)
+      std::memcpy(dst + (s * out_channels_ + c) * colc,
+                  oc + c * ncols + s * colc, colc * sizeof(float));
+  });
+  if (train) cached_n_ = n;
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  FEDL_CHECK(!cached_input_.empty()) << "backward before train-mode forward";
-  const std::size_t n = cached_input_.shape()[0];
+  FEDL_CHECK_GT(cached_n_, 0u) << "backward before train-mode forward";
+  const std::size_t n = cached_n_;
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
   FEDL_CHECK((grad_output.shape() == Shape{n, out_channels_, oh, ow}));
 
+  const std::size_t colr = geom_.col_rows();
+  const std::size_t colc = geom_.col_cols();
+  const std::size_t ncols = n * colc;
   const std::size_t image_elems = geom_.in_channels * geom_.in_h * geom_.in_w;
-  const std::size_t out_elems = out_channels_ * oh * ow;
+  const float* cols = cols_.data();
 
-  Tensor grad_input(cached_input_.shape());
-  std::vector<float> cols(geom_.col_rows() * geom_.col_cols());
-  std::vector<float> dcols(geom_.col_rows() * geom_.col_cols());
+  // Gather grad_output into the channel-major layout matching cols.
+  float* dout = dout_.ensure(out_channels_ * ncols);
+  const float* gsrc = grad_output.data();
+  parallel_for(0, n, [&](std::size_t s) {
+    for (std::size_t c = 0; c < out_channels_; ++c)
+      std::memcpy(dout + c * ncols + s * colc,
+                  gsrc + (s * out_channels_ + c) * colc,
+                  colc * sizeof(float));
+  });
 
-  // Weight-gradient accumulation is a reduction across samples; done
-  // sequentially to keep the accumulation deterministic (batches are small
-  // relative to the GEMM cost anyway).
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* dout = grad_output.data() + s * out_elems;
-    im2col(geom_, cached_input_.data() + s * image_elems, cols.data());
-    // dW += dOut * cols^T  : [C_out, oh*ow] x [oh*ow, colr]
-    gemm(false, true, out_channels_, geom_.col_rows(), geom_.col_cols(), 1.0f,
-         dout, cols.data(), 1.0f, grad_weight_.data());
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float* plane = dout + c * oh * ow;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
-      grad_bias_[c] += static_cast<float>(acc);
+  // dW += dOut * cols^T, reduced over fixed-size sample blocks: each block
+  // is one [C_out, blk*colc] x [blk*colc, colr] GEMM into its own partial,
+  // partials are then summed in block order on the calling thread.
+  const std::size_t num_blocks = (n + kDwBlockSamples - 1) / kDwBlockSamples;
+  const std::size_t wsize = out_channels_ * colr;
+  if (num_blocks == 1) {
+    gemm(false, true, out_channels_, colr, ncols, 1.0f, dout, cols, 1.0f,
+         grad_weight_.data());
+  } else {
+    float* partials = dw_partials_.ensure(num_blocks * wsize);
+    parallel_for(0, num_blocks, [&](std::size_t b) {
+      const std::size_t s0 = b * kDwBlockSamples;
+      const std::size_t s1 = std::min(n, s0 + kDwBlockSamples);
+      const std::size_t kblk = (s1 - s0) * colc;
+      gemm_bias(false, true, out_channels_, colr, kblk, 1.0f,
+                dout + s0 * colc, ncols, cols + s0 * colc, ncols, 0.0f,
+                partials + b * wsize, colr, BiasMode::kNone, nullptr);
+    });
+    float* gw = grad_weight_.data();
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const float* part = partials + b * wsize;
+      for (std::size_t i = 0; i < wsize; ++i) gw[i] += part[i];
     }
-    // dcols = W^T * dOut : [colr, C_out] x [C_out, oh*ow]
-    gemm(true, false, geom_.col_rows(), geom_.col_cols(), out_channels_, 1.0f,
-         weight_.data(), dout, 0.0f, dcols.data());
-    col2im(geom_, dcols.data(), grad_input.data() + s * image_elems);
   }
+
+  // db: each channel's grad_output row is contiguous in dout.
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    const float* row = dout + c * ncols;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ncols; ++i) acc += row[i];
+    grad_bias_[c] += static_cast<float>(acc);
+  }
+
+  // dcols = W^T * dOut in one GEMM, then per-sample col2im (samples write
+  // disjoint grad_input slices, so the fan-out is deterministic).
+  float* dcols = dcols_.ensure(colr * ncols);
+  gemm(true, false, colr, ncols, out_channels_, 1.0f, weight_.data(), dout,
+       0.0f, dcols);
+  Tensor grad_input(Shape{n, geom_.in_channels, geom_.in_h, geom_.in_w});
+  float* gi = grad_input.data();
+  parallel_for(0, n, [&](std::size_t s) {
+    col2im(geom_, dcols + s * colc, gi + s * image_elems, ncols);
+  });
   return grad_input;
 }
 

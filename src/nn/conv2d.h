@@ -1,7 +1,8 @@
-// 2-D convolution over NCHW batches via im2col + GEMM.
+// 2-D convolution over NCHW batches via whole-batch im2col + one GEMM.
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/gemm_workspace.h"
 #include "tensor/im2col.h"
 
 namespace fedl {
@@ -10,6 +11,16 @@ class Rng;
 
 namespace fedl::nn {
 
+// Forward lowers the entire batch into one column buffer of shape
+// [col_rows, N*col_cols] and runs a single GEMM per invocation (bias fused
+// into the write-back), instead of one small GEMM per sample. Train mode
+// keeps that column buffer as the backward cache — the input batch itself
+// is never copied. Backward is three batched stages: a deterministic
+// blocked weight-gradient reduction (fixed-size sample blocks reduced in
+// block order, so results are identical at any thread count), one GEMM for
+// the column gradients, and per-sample col2im. All scratch lives in
+// layer-owned Workspaces that are reused across iterations and deliberately
+// not propagated to clones.
 class Conv2d : public Layer {
  public:
   // Square kernels; `pad` defaults to "same"-ish (kernel/2) when npos.
@@ -17,7 +28,13 @@ class Conv2d : public Layer {
          std::size_t kernel, std::size_t stride, std::size_t pad,
          std::size_t in_h, std::size_t in_w, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool train) override;
+  // Copies parameters/gradients only; backward caches and scratch start
+  // empty in the copy (clone() contract: identical behavior from the next
+  // forward pass on, no dragged-along high-water-mark buffers).
+  Conv2d(const Conv2d& other);
+  Conv2d& operator=(const Conv2d&) = delete;
+
+  Tensor forward(Tensor input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -35,7 +52,16 @@ class Conv2d : public Layer {
   Tensor bias_;         // [C_out]
   Tensor grad_weight_;
   Tensor grad_bias_;
-  Tensor cached_input_;  // [N, C, H, W]
+
+  // Batch size of the last train-mode forward; 0 until one happens. The
+  // backward cache is cols_ (the im2col of that batch), not the input.
+  std::size_t cached_n_ = 0;
+  Workspace cols_;         // [col_rows, N*col_cols] train-mode column cache
+  Workspace scratch_cols_;  // eval-mode columns (never aliases the cache)
+  Workspace out_cols_;  // [C_out, N*col_cols] channel-major GEMM output
+  Workspace dout_;      // [C_out, N*col_cols] channel-major grad_output
+  Workspace dcols_;     // [col_rows, N*col_cols] column gradients
+  Workspace dw_partials_;  // [num_blocks, C_out*col_rows] dW reduction
 };
 
 }  // namespace fedl::nn

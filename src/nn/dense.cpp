@@ -14,18 +14,17 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
       grad_weight_(Shape{out_features, in_features}),
       grad_bias_(Shape{out_features}) {}
 
-Tensor Dense::forward(const Tensor& input, bool train) {
+Tensor Dense::forward(Tensor input, bool train) {
   FEDL_CHECK_EQ(input.shape().rank(), 2u);
   FEDL_CHECK_EQ(input.shape()[1], in_);
   const std::size_t n = input.shape()[0];
   Tensor out(Shape{n, out_});
-  // out = input * W^T
-  gemm(false, true, 1.0f, input, weight_, 0.0f, out);
-  for (std::size_t r = 0; r < n; ++r) {
-    float* row = out.data() + r * out_;
-    for (std::size_t c = 0; c < out_; ++c) row[c] += bias_[c];
-  }
-  if (train) cached_input_ = input;
+  // out = input * W^T + b, bias fused into the GEMM write-back (one value
+  // per output column).
+  gemm_bias(false, true, n, out_, in_, 1.0f, input.data(), weight_.data(),
+            0.0f, out.data(), BiasMode::kPerCol, bias_.data());
+  // The activation cache takes ownership of the batch instead of copying it.
+  if (train) cached_input_ = std::move(input);
   return out;
 }
 

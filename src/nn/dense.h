@@ -13,7 +13,7 @@ class Dense : public Layer {
  public:
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -30,7 +30,7 @@ class Dense : public Layer {
   Tensor bias_;         // [out]
   Tensor grad_weight_;  // [out, in]
   Tensor grad_bias_;    // [out]
-  Tensor cached_input_;  // [N, in] (train mode)
+  Tensor cached_input_;  // [N, in] (train mode; moved in, not copied)
 };
 
 }  // namespace fedl::nn

@@ -18,7 +18,13 @@ class Layer {
   virtual ~Layer() = default;
 
   // Forward pass; `train` toggles caching of activations for backward.
-  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  //
+  // `input` is taken by value so implementations can consume it: in-place
+  // layers (ReLU, Flatten) mutate-and-return the buffer, caching layers
+  // (Dense) move it into their activation cache instead of deep-copying the
+  // batch every iteration. Model::forward threads one tensor through the
+  // stack with std::move; callers that pass an lvalue keep their copy.
+  virtual Tensor forward(Tensor input, bool train) = 0;
 
   // Backward pass: grad w.r.t. this layer's output -> grad w.r.t. its input.
   // Accumulates parameter gradients into the layer's grad buffers (callers

@@ -17,7 +17,7 @@ Model Model::clone() const {
 Tensor Model::forward(const Tensor& x, bool train) {
   FEDL_CHECK(!layers_.empty());
   Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  for (auto& layer : layers_) cur = layer->forward(std::move(cur), train);
   return cur;
 }
 

@@ -10,7 +10,7 @@ MaxPool2d::MaxPool2d(std::size_t window, std::size_t stride)
   FEDL_CHECK_GT(stride, 0u);
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+Tensor MaxPool2d::forward(Tensor input, bool train) {
   FEDL_CHECK_EQ(input.shape().rank(), 4u);
   const std::size_t n = input.shape()[0];
   const std::size_t c = input.shape()[1];

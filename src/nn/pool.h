@@ -11,7 +11,7 @@ class MaxPool2d : public Layer {
  public:
   MaxPool2d(std::size_t window, std::size_t stride);
 
-  Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   LayerPtr clone() const override { return std::make_unique<MaxPool2d>(*this); }
   std::string name() const override { return "maxpool2d"; }

@@ -4,31 +4,171 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/simd_dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FEDL_X86 1
+#endif
+
 namespace fedl {
 namespace {
 
-// Block sizes tuned for L1/L2 on a typical x86 core; exact values are not
-// critical, the point is to keep the B panel resident while streaming A.
-constexpr std::size_t kBlockM = 64;
+// Micro-tile shape: each micro-kernel call produces a MR x NR tile of C from
+// packed A/B micro-panels. 6x16 needs 12 accumulator registers + 2 B loads
+// + 1 A broadcast = 15 of the 16 YMM registers on the AVX2 path; the
+// portable path uses the same shape so both kernels share packing, blocking
+// schedule, and per-element accumulation order (only FMA rounding differs).
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 16;
+
+// Cache blocks: the packed B panel (kBlockK x kBlockN = 256 KiB) targets L2,
+// the packed A block (kBlockM x kBlockK = 96 KiB) streams through L1/L2
+// while one B panel stays resident. Multiples of kMr / kNr.
+constexpr std::size_t kBlockM = 96;
 constexpr std::size_t kBlockN = 256;
 constexpr std::size_t kBlockK = 256;
 
-// Packs op(A)'s [mb x kb] block into row-major contiguous storage so the
-// micro-kernel always streams unit-stride regardless of transposition.
+// Packs op(A)'s [mb x kb] block into kMr-row micro-panels: panel ib holds
+// kb steps of kMr consecutive rows, laid out p-major so the micro-kernel
+// reads kMr unit-stride floats per k step. Rows past mb are zero-padded
+// (they produce dead tile rows the write-back never reads).
 void pack_a(bool trans_a, const float* a, std::size_t lda, std::size_t row0,
             std::size_t col0, std::size_t mb, std::size_t kb, float* out) {
-  for (std::size_t i = 0; i < mb; ++i)
-    for (std::size_t p = 0; p < kb; ++p)
-      out[i * kb + p] = trans_a ? a[(col0 + p) * lda + (row0 + i)]
-                                : a[(row0 + i) * lda + (col0 + p)];
+  for (std::size_t ib = 0; ib < mb; ib += kMr) {
+    const std::size_t rows = std::min(kMr, mb - ib);
+    for (std::size_t p = 0; p < kb; ++p) {
+      for (std::size_t r = 0; r < rows; ++r)
+        out[p * kMr + r] = trans_a ? a[(col0 + p) * lda + (row0 + ib + r)]
+                                   : a[(row0 + ib + r) * lda + (col0 + p)];
+      for (std::size_t r = rows; r < kMr; ++r) out[p * kMr + r] = 0.0f;
+    }
+    out += kMr * kb;
+  }
 }
 
+// Packs op(B)'s [kb x nb] block into kNr-column micro-panels, p-major, with
+// zero padding past nb.
 void pack_b(bool trans_b, const float* b, std::size_t ldb, std::size_t row0,
             std::size_t col0, std::size_t kb, std::size_t nb, float* out) {
-  for (std::size_t p = 0; p < kb; ++p)
-    for (std::size_t j = 0; j < nb; ++j)
-      out[p * nb + j] = trans_b ? b[(col0 + j) * ldb + (row0 + p)]
-                                : b[(row0 + p) * ldb + (col0 + j)];
+  for (std::size_t jb = 0; jb < nb; jb += kNr) {
+    const std::size_t cols = std::min(kNr, nb - jb);
+    if (!trans_b && cols == kNr) {
+      // Fast path: contiguous 16-float rows of B.
+      for (std::size_t p = 0; p < kb; ++p)
+        std::memcpy(out + p * kNr, b + (row0 + p) * ldb + (col0 + jb),
+                    kNr * sizeof(float));
+    } else {
+      for (std::size_t p = 0; p < kb; ++p) {
+        for (std::size_t c = 0; c < cols; ++c)
+          out[p * kNr + c] = trans_b ? b[(col0 + jb + c) * ldb + (row0 + p)]
+                                     : b[(row0 + p) * ldb + (col0 + jb + c)];
+        for (std::size_t c = cols; c < kNr; ++c) out[p * kNr + c] = 0.0f;
+      }
+    }
+    out += kNr * kb;
+  }
+}
+
+// Portable micro-kernel: tile[r][c] = sum_p apanel[p*6+r] * bpanel[p*16+c].
+// Plain nested loops the compiler can unroll/vectorize at the baseline ISA;
+// same p-ascending accumulation order as the AVX2 kernel.
+// One tile row at a time: 16 accumulators fit the baseline SSE register
+// file, so they stay register-resident across the whole k walk (a full
+// 6×16 accumulator block spills and runs ~8x slower). The B panel is
+// re-read once per row but is at most kBlockK*kNr floats = 16 KiB — L1.
+void kernel_6x16_portable(std::size_t kb, const float* apanel,
+                          const float* bpanel, float* tile) {
+  for (std::size_t r = 0; r < kMr; ++r) {
+    float acc[kNr] = {0.0f};
+    for (std::size_t p = 0; p < kb; ++p) {
+      const float av = apanel[p * kMr + r];
+      const float* bp = bpanel + p * kNr;
+      for (std::size_t c = 0; c < kNr; ++c) acc[c] += av * bp[c];
+    }
+    std::memcpy(tile + r * kNr, acc, sizeof(acc));
+  }
+}
+
+#ifdef FEDL_X86
+// AVX2+FMA micro-kernel. Compiled with a function-level target attribute so
+// the rest of the TU (and the whole build) stays at the baseline ISA; the
+// dispatcher guarantees it only runs on CPUs with AVX2 and FMA.
+__attribute__((target("avx2,fma"))) void kernel_6x16_avx2(
+    std::size_t kb, const float* apanel, const float* bpanel, float* tile) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kb; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bpanel + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bpanel + p * kNr + 8);
+    const float* ap = apanel + p * kMr;
+    __m256 a = _mm256_broadcast_ss(ap + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(ap + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(ap + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(ap + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(ap + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(ap + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+  }
+  _mm256_storeu_ps(tile + 0 * kNr, c00);
+  _mm256_storeu_ps(tile + 0 * kNr + 8, c01);
+  _mm256_storeu_ps(tile + 1 * kNr, c10);
+  _mm256_storeu_ps(tile + 1 * kNr + 8, c11);
+  _mm256_storeu_ps(tile + 2 * kNr, c20);
+  _mm256_storeu_ps(tile + 2 * kNr + 8, c21);
+  _mm256_storeu_ps(tile + 3 * kNr, c30);
+  _mm256_storeu_ps(tile + 3 * kNr + 8, c31);
+  _mm256_storeu_ps(tile + 4 * kNr, c40);
+  _mm256_storeu_ps(tile + 4 * kNr + 8, c41);
+  _mm256_storeu_ps(tile + 5 * kNr, c50);
+  _mm256_storeu_ps(tile + 5 * kNr + 8, c51);
+}
+#endif  // FEDL_X86
+
+using MicroKernelFn = void (*)(std::size_t, const float*, const float*,
+                               float*);
+
+MicroKernelFn select_micro_kernel() {
+#ifdef FEDL_X86
+  if (active_gemm_kernel() == GemmKernel::kAvx2Fma) return kernel_6x16_avx2;
+#endif
+  return kernel_6x16_portable;
+}
+
+// Merges one micro-tile into C: C = alpha*tile + beta_eff*C, plus the fused
+// bias on the final k-panel. beta_eff == 0 must not read C (it may be
+// uninitialized scratch).
+void write_back(const float* tile, float* c, std::size_t ldc, std::size_t mr,
+                std::size_t nr, float alpha, float beta_eff, BiasMode bias_mode,
+                const float* bias, std::size_t row0, std::size_t col0) {
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    const float* trow = tile + r * kNr;
+    const float row_bias =
+        bias_mode == BiasMode::kPerRow ? bias[row0 + r] : 0.0f;
+    for (std::size_t cc = 0; cc < nr; ++cc) {
+      float v = alpha * trow[cc];
+      if (beta_eff != 0.0f) v += beta_eff * crow[cc];
+      if (bias_mode == BiasMode::kPerRow) v += row_bias;
+      if (bias_mode == BiasMode::kPerCol) v += bias[col0 + cc];
+      crow[cc] = v;
+    }
+  }
 }
 
 }  // namespace
@@ -52,48 +192,77 @@ void gemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
   }
 }
 
-void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
-          std::size_t k, float alpha, const float* a, const float* b,
-          float beta, float* c) {
+void gemm_bias(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+               std::size_t k, float alpha, const float* a, std::size_t lda,
+               const float* b, std::size_t ldb, float beta, float* c,
+               std::size_t ldc, BiasMode bias_mode, const float* bias) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      const float row_bias =
+          bias_mode == BiasMode::kPerRow ? bias[i] : 0.0f;
+      for (std::size_t j = 0; j < n; ++j) {
+        float v = beta == 0.0f ? 0.0f : beta * crow[j];
+        if (bias_mode == BiasMode::kPerRow) v += row_bias;
+        if (bias_mode == BiasMode::kPerCol) v += bias[j];
+        crow[j] = v;
+      }
+    }
     return;
   }
-  const std::size_t lda = trans_a ? m : k;
-  const std::size_t ldb = trans_b ? k : n;
+  const MicroKernelFn micro = select_micro_kernel();
 
-  // Apply beta once up front; the blocked kernel then accumulates.
-  if (beta == 0.0f) {
-    std::memset(c, 0, m * n * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-
-  std::vector<float> apack(kBlockM * kBlockK);
-  std::vector<float> bpack(kBlockK * kBlockN);
+  // Packing scratch, sized for one A block and one B panel (zero-padded to
+  // micro-tile multiples).
+  const std::size_t mb_cap = std::min(kBlockM, (m + kMr - 1) / kMr * kMr);
+  const std::size_t nb_cap = std::min(kBlockN, (n + kNr - 1) / kNr * kNr);
+  const std::size_t kb_cap = std::min(kBlockK, k);
+  std::vector<float> apack(mb_cap * kb_cap);
+  std::vector<float> bpack(kb_cap * nb_cap);
+  alignas(32) float tile[kMr * kNr];
 
   for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
     const std::size_t nb = std::min(kBlockN, n - j0);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::size_t kb = std::min(kBlockK, k - p0);
+      // First k-panel applies the caller's beta, later panels accumulate;
+      // the bias joins on the last panel so it is added exactly once.
+      const float beta_eff = p0 == 0 ? beta : 1.0f;
+      const BiasMode panel_bias =
+          p0 + kb >= k ? bias_mode : BiasMode::kNone;
       pack_b(trans_b, b, ldb, p0, j0, kb, nb, bpack.data());
       for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
         const std::size_t mb = std::min(kBlockM, m - i0);
         pack_a(trans_a, a, lda, i0, p0, mb, kb, apack.data());
-        // Micro-kernel: C[i, j] += alpha * sum_p Apack[i, p] * Bpack[p, j].
-        for (std::size_t i = 0; i < mb; ++i) {
-          float* crow = c + (i0 + i) * n + j0;
-          const float* arow = apack.data() + i * kb;
-          for (std::size_t p = 0; p < kb; ++p) {
-            const float av = alpha * arow[p];
-            const float* brow = bpack.data() + p * nb;
-            for (std::size_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+        for (std::size_t jb = 0; jb < nb; jb += kNr) {
+          const float* bpanel = bpack.data() + (jb / kNr) * kNr * kb;
+          const std::size_t nr = std::min(kNr, nb - jb);
+          for (std::size_t ib = 0; ib < mb; ib += kMr) {
+            const float* apanel = apack.data() + (ib / kMr) * kMr * kb;
+            const std::size_t mr = std::min(kMr, mb - ib);
+            micro(kb, apanel, bpanel, tile);
+            write_back(tile, c + (i0 + ib) * ldc + (j0 + jb), ldc, mr, nr,
+                       alpha, beta_eff, panel_bias, bias, i0 + ib, j0 + jb);
           }
         }
       }
     }
   }
+}
+
+void gemm_bias(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+               std::size_t k, float alpha, const float* a, const float* b,
+               float beta, float* c, BiasMode bias_mode, const float* bias) {
+  gemm_bias(trans_a, trans_b, m, n, k, alpha, a, trans_a ? m : k, b,
+            trans_b ? k : n, beta, c, n, bias_mode, bias);
+}
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  gemm_bias(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, BiasMode::kNone,
+            nullptr);
 }
 
 void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,

@@ -2,14 +2,16 @@
 
 namespace fedl {
 
-void im2col(const Conv2dGeometry& g, const float* image, float* cols) {
+void im2col(const Conv2dGeometry& g, const float* image, float* cols,
+            std::size_t ld) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
+  if (ld == 0) ld = oh * ow;
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = cols + row * oh * ow;
+        float* out = cols + row * ld;
         for (std::size_t y = 0; y < oh; ++y) {
           // Input row for this output row; pad handled by bounds checks.
           const std::ptrdiff_t iy =
@@ -32,14 +34,16 @@ void im2col(const Conv2dGeometry& g, const float* image, float* cols) {
   }
 }
 
-void col2im(const Conv2dGeometry& g, const float* cols, float* image) {
+void col2im(const Conv2dGeometry& g, const float* cols, float* image,
+            std::size_t ld) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
+  if (ld == 0) ld = oh * ow;
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* in = cols + row * oh * ow;
+        const float* in = cols + row * ld;
         for (std::size_t y = 0; y < oh; ++y) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(y * g.stride + kh) -

@@ -3,6 +3,12 @@
 // Convolution over an NCHW image becomes a GEMM between the filter matrix
 // [C_out, C_in*KH*KW] and the column matrix [C_in*KH*KW, OH*OW]; col2im is
 // the adjoint used in the backward pass.
+//
+// Both routines take an optional leading dimension `ld` (distance in floats
+// between consecutive column-matrix rows). With ld > col_cols() a sample's
+// columns can be written directly into its slice of a whole-batch buffer of
+// shape [col_rows, N*col_cols] — one im2col surface, one big GEMM per layer
+// invocation instead of one tiny GEMM per sample (see nn/conv2d.cpp).
 #pragma once
 
 #include <cstddef>
@@ -26,10 +32,14 @@ struct Conv2dGeometry {
   std::size_t col_cols() const { return out_h() * out_w(); }
 };
 
-// image: one sample, [C, H, W] contiguous; cols: [col_rows, col_cols].
-void im2col(const Conv2dGeometry& g, const float* image, float* cols);
+// image: one sample, [C, H, W] contiguous; cols: [col_rows, col_cols] slab
+// with row stride `ld` (0 means tightly packed, ld = col_cols()).
+void im2col(const Conv2dGeometry& g, const float* image, float* cols,
+            std::size_t ld = 0);
 
-// Adjoint: accumulate columns back into the (pre-zeroed) image gradient.
-void col2im(const Conv2dGeometry& g, const float* cols, float* image);
+// Adjoint: accumulate columns (row stride `ld`, 0 = col_cols()) back into
+// the (pre-zeroed) image gradient.
+void col2im(const Conv2dGeometry& g, const float* cols, float* image,
+            std::size_t ld = 0);
 
 }  // namespace fedl

@@ -1,0 +1,68 @@
+#include "tensor/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace fedl {
+namespace {
+
+// -1 = not yet resolved; otherwise holds a GemmKernel value.
+std::atomic<int> g_kernel{-1};
+
+}  // namespace
+
+bool cpu_supports_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+GemmKernel resolve_gemm_kernel(const char* env_value, bool avx2_supported) {
+  if (env_value != nullptr) {
+    if (std::strcmp(env_value, "portable") == 0) return GemmKernel::kPortable;
+    if (std::strcmp(env_value, "avx2") == 0)
+      return avx2_supported ? GemmKernel::kAvx2Fma : GemmKernel::kPortable;
+    if (std::strcmp(env_value, "auto") != 0 && env_value[0] != '\0')
+      FEDL_WARN << "unknown FEDL_GEMM_KERNEL value '" << env_value
+                << "', using auto";
+  }
+  return avx2_supported ? GemmKernel::kAvx2Fma : GemmKernel::kPortable;
+}
+
+GemmKernel active_gemm_kernel() {
+  int cur = g_kernel.load(std::memory_order_relaxed);
+  if (cur < 0) {
+    const GemmKernel resolved = resolve_gemm_kernel(
+        std::getenv("FEDL_GEMM_KERNEL"), cpu_supports_avx2_fma());
+    // Several threads may race the first resolution; they all compute the
+    // same value, so a plain store is fine.
+    g_kernel.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    FEDL_DEBUG << "gemm kernel: " << gemm_kernel_name(resolved);
+    return resolved;
+  }
+  return static_cast<GemmKernel>(cur);
+}
+
+void force_gemm_kernel(GemmKernel kernel) {
+  FEDL_CHECK(kernel != GemmKernel::kAvx2Fma || cpu_supports_avx2_fma())
+      << "cannot force the AVX2+FMA kernel: CPU lacks avx2/fma";
+  g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+const char* gemm_kernel_name(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kPortable:
+      return "portable";
+    case GemmKernel::kAvx2Fma:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace fedl

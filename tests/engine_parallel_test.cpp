@@ -2,6 +2,17 @@
 // num_threads must produce bit-identical EpochOutcomes and global parameters
 // to the serial path (the per-client fan-out only changes wall-clock, never
 // numbers), including under mid-epoch faults and update compression.
+//
+// Tolerance rationale: these comparisons are exact (==, not near) on
+// purpose, and stay valid across the SIMD GEMM kernels. Bit-identity holds
+// because every float-ordering decision is independent of the thread count:
+// the GEMM kernel is selected once per process (so serial and parallel runs
+// use the same code path), its packing/k-walk order is fixed per shape, the
+// conv dW reduction splits the batch into fixed-size blocks summed in block
+// order on one thread, and the engine folds per-client results serially in
+// client order. What is NOT bit-stable is cross-kernel agreement
+// (avx2 vs portable vs gemm_naive differ by FMA/association rounding) —
+// that contract is relative-error bounded and lives in gemm_parity_test.
 #include <gtest/gtest.h>
 
 #include <memory>

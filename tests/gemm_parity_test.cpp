@@ -1,0 +1,205 @@
+// GEMM parity property tests: the dispatched blocked/SIMD gemm() must match
+// the gemm_naive reference for every kernel the host can run, across all
+// four transpose combinations, the full alpha/beta grid, block-edge sizes,
+// and the fused-bias epilogue.
+//
+// Tolerance contract (see DESIGN.md §"Compute kernel layer"): gemm_naive
+// accumulates each output element in double and the micro-kernels accumulate
+// in float (the AVX2 path with FMA), so parity is relative-error bounded,
+// not bit-identical. The bound scales with k (the length of the reduced
+// dimension) and the magnitudes involved.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/simd_dispatch.h"
+
+namespace fedl {
+namespace {
+
+// Kernels runnable on this host: the portable path always, the AVX2 path
+// when the CPU has avx2+fma. Exercising kPortable on an AVX2 machine also
+// pins exactly the code path the env override FEDL_GEMM_KERNEL=portable
+// selects (resolve_gemm_kernel maps the env var to these same enum values;
+// the mapping itself is tested below).
+std::vector<GemmKernel> runnable_kernels() {
+  std::vector<GemmKernel> ks = {GemmKernel::kPortable};
+  if (cpu_supports_avx2_fma()) ks.push_back(GemmKernel::kAvx2Fma);
+  return ks;
+}
+
+// Restores automatic dispatch after each test so ordering cannot leak a
+// forced kernel into other suites.
+class GemmParity : public ::testing::Test {
+ protected:
+  ~GemmParity() override {
+    force_gemm_kernel(resolve_gemm_kernel(nullptr, cpu_supports_avx2_fma()));
+  }
+};
+
+void expect_parity(GemmKernel kernel, bool ta, bool tb, std::size_t m,
+                   std::size_t n, std::size_t k, float alpha, float beta) {
+  force_gemm_kernel(kernel);
+  Rng rng(m * 1009 + n * 131 + k * 17 + (ta ? 1 : 0) + (tb ? 2 : 0) +
+          static_cast<std::uint64_t>(kernel) * 7);
+  std::vector<float> a(m * k), b(k * n), c_fast(m * n), c_ref(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < c_fast.size(); ++i)
+    c_fast[i] = c_ref[i] = static_cast<float>(rng.normal());
+
+  gemm(ta, tb, m, n, k, alpha, a.data(), b.data(), beta, c_fast.data());
+  gemm_naive(ta, tb, m, n, k, alpha, a.data(), b.data(), beta, c_ref.data());
+
+  // Float accumulation error grows ~sqrt(k) for random-sign data; use a
+  // k-scaled relative bound with a floor for near-cancellation.
+  const float tol =
+      1e-6f * std::sqrt(static_cast<float>(k) + 1.0f) * 8.0f;
+  for (std::size_t i = 0; i < c_fast.size(); ++i) {
+    ASSERT_NEAR(c_fast[i], c_ref[i],
+                tol * (std::abs(c_ref[i]) + std::sqrt(
+                           static_cast<float>(k) + 1.0f)))
+        << gemm_kernel_name(kernel) << " ta=" << ta << " tb=" << tb
+        << " m=" << m << " n=" << n << " k=" << k << " alpha=" << alpha
+        << " beta=" << beta << " i=" << i;
+  }
+}
+
+TEST_F(GemmParity, AllTransposesAlphaBetaGridBlockEdges) {
+  // Sizes straddle the micro-tile (6x16) and cache-block (96/256/256)
+  // boundaries: 1 and 3 exercise fully-degenerate tiles, 63/65 straddle
+  // kBlockM, 257 straddles kBlockN/kBlockK.
+  const std::size_t sizes[] = {1, 3, 63, 65, 257};
+  const float coeffs[] = {0.0f, 1.0f, 0.5f, -1.0f};
+  for (GemmKernel kernel : runnable_kernels()) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        // Rotate (m, n, k) through the size list so every size lands on
+        // every dimension without the full 5^3 cross product.
+        for (std::size_t i = 0; i < 5; ++i) {
+          const std::size_t m = sizes[i];
+          const std::size_t n = sizes[(i + 1) % 5];
+          const std::size_t k = sizes[(i + 2) % 5];
+          expect_parity(kernel, ta, tb, m, n, k, 1.0f, 0.0f);
+        }
+        for (float alpha : coeffs)
+          for (float beta : coeffs)
+            expect_parity(kernel, ta, tb, 65, 63, 257, alpha, beta);
+      }
+    }
+  }
+}
+
+TEST_F(GemmParity, KernelsAgreeWithinTolerance) {
+  // The portable and AVX2 kernels share packing and accumulation order but
+  // differ in FMA rounding; their outputs must agree to float accumulation
+  // error even though they need not be bit-identical.
+  if (!cpu_supports_avx2_fma()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  const std::size_t m = 65, n = 130, k = 257;
+  Rng rng(42);
+  std::vector<float> a(m * k), b(k * n), c_avx(m * n), c_port(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  force_gemm_kernel(GemmKernel::kAvx2Fma);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_avx.data());
+  force_gemm_kernel(GemmKernel::kPortable);
+  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_port.data());
+
+  for (std::size_t i = 0; i < c_avx.size(); ++i)
+    ASSERT_NEAR(c_avx[i], c_port[i], 1e-4f * (std::abs(c_port[i]) + 1.0f));
+}
+
+TEST_F(GemmParity, FusedBiasMatchesUnfusedReference) {
+  const std::size_t m = 37, n = 101, k = 129;
+  Rng rng(7);
+  std::vector<float> a(m * k), b(k * n), bias_r(m), bias_c(n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto& v : bias_r) v = static_cast<float>(rng.normal());
+  for (auto& v : bias_c) v = static_cast<float>(rng.normal());
+
+  for (GemmKernel kernel : runnable_kernels()) {
+    force_gemm_kernel(kernel);
+    std::vector<float> fused(m * n), ref(m * n);
+
+    // Per-row bias (conv epilogue).
+    gemm_bias(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+              fused.data(), BiasMode::kPerRow, bias_r.data());
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, ref.data());
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_FLOAT_EQ(fused[i * n + j], ref[i * n + j] + bias_r[i])
+            << gemm_kernel_name(kernel);
+
+    // Per-column bias (dense epilogue), accumulating over beta = 1.
+    std::vector<float> c0(m * n, 0.25f);
+    fused = c0;
+    ref = c0;
+    gemm_bias(false, false, m, n, k, 1.0f, a.data(), b.data(), 1.0f,
+              fused.data(), BiasMode::kPerCol, bias_c.data());
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 1.0f, ref.data());
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_FLOAT_EQ(fused[i * n + j], ref[i * n + j] + bias_c[j])
+            << gemm_kernel_name(kernel);
+  }
+}
+
+TEST_F(GemmParity, StridedViewsMatchPackedOperands) {
+  // The leading-dimension form on sub-matrix views must equal a packed-copy
+  // gemm — this is what the conv weight-gradient block reduction relies on.
+  const std::size_t m = 9, n = 20, k = 33;
+  const std::size_t lda = k + 5, ldb = n + 3, ldc = n + 7;
+  Rng rng(11);
+  std::vector<float> a(m * lda), b(k * ldb), c(m * ldc, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  std::vector<float> ap(m * k), bp(k * n), cref(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) ap[i * k + p] = a[i * lda + p];
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) bp[p * n + j] = b[p * ldb + j];
+
+  for (GemmKernel kernel : runnable_kernels()) {
+    force_gemm_kernel(kernel);
+    std::fill(c.begin(), c.end(), 0.0f);
+    gemm_bias(false, false, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.0f,
+              c.data(), ldc, BiasMode::kNone, nullptr);
+    gemm(false, false, m, n, k, 1.0f, ap.data(), bp.data(), 0.0f,
+         cref.data());
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(c[i * ldc + j], cref[i * n + j])
+            << gemm_kernel_name(kernel) << " i=" << i << " j=" << j;
+  }
+}
+
+TEST(GemmDispatch, EnvOverrideResolution) {
+  // The pure policy behind FEDL_GEMM_KERNEL: portable always honored, avx2
+  // honored only when the CPU can run it, auto/unset/unknown pick the best
+  // available. This pins the fallback path for machines without AVX2.
+  EXPECT_EQ(resolve_gemm_kernel("portable", true), GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("portable", false), GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("avx2", true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("avx2", false), GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("auto", true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("auto", false), GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel(nullptr, true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel(nullptr, false), GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("bogus", true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("bogus", false), GemmKernel::kPortable);
+}
+
+TEST(GemmDispatch, ForcingUnsupportedKernelThrows) {
+  if (cpu_supports_avx2_fma())
+    GTEST_SKIP() << "host supports AVX2+FMA; cannot exercise the guard";
+  EXPECT_THROW(force_gemm_kernel(GemmKernel::kAvx2Fma), CheckError);
+}
+
+}  // namespace
+}  // namespace fedl

@@ -1,0 +1,63 @@
+// Performance smoke test (ctest label: perf): the blocked/SIMD gemm must
+// decisively beat the naive triple loop at n=256. This is a smoke floor, not
+// a benchmark — the real numbers live in bench/micro_kernels (see
+// BENCH_micro_kernels.json). The 2x floor is far below the observed gap
+// (>10x on the AVX2 path, >4x portable) so the test stays robust on noisy
+// shared machines and debug-ish build types, while still catching a
+// regression that silently falls back to scalar code.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/simd_dispatch.h"
+
+namespace fedl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double best_seconds_of(int reps, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+TEST(KernelPerf, BlockedGemmBeatsNaiveAt256) {
+  const std::size_t n = 256;
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  // Warm up once each (page faults, frequency ramp, dispatch resolution).
+  gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  gemm_naive(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+
+  const double fast = best_seconds_of(5, [&] {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  });
+  const double naive = best_seconds_of(3, [&] {
+    gemm_naive(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+               c.data());
+  });
+
+  RecordProperty("gemm_kernel", gemm_kernel_name(active_gemm_kernel()));
+  RecordProperty("gemm_seconds", std::to_string(fast));
+  RecordProperty("naive_seconds", std::to_string(naive));
+  EXPECT_LT(fast * 2.0, naive)
+      << "blocked gemm (" << gemm_kernel_name(active_gemm_kernel())
+      << " kernel, " << fast << "s) is not at least 2x faster than "
+      << "gemm_naive (" << naive << "s) at n=" << n;
+}
+
+}  // namespace
+}  // namespace fedl

@@ -247,12 +247,19 @@ TEST(Im2col, PaddingProducesZeros) {
   EXPECT_EQ(cols[center_row * g.col_cols() + 0], 1.0f);
 }
 
-TEST(Im2col, Col2imIsAdjoint) {
-  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining adjoint
-  // property the conv backward pass relies on.
-  Rng rng(9);
-  Conv2dGeometry g{3, 7, 6, 3, 3, 2, 1};
-  std::vector<float> x(3 * 7 * 6), y(g.col_rows() * g.col_cols());
+// <im2col(x), y> == <x, col2im(y)> for random x, y — the defining adjoint
+// property the conv backward pass relies on. Parametrized over geometries
+// that exercise stride > 1, pad > 0, non-square images, and asymmetric
+// kernels (the default conv shapes only cover stride 1 / "same" padding).
+class Im2colAdjoint : public ::testing::TestWithParam<Conv2dGeometry> {};
+
+TEST_P(Im2colAdjoint, HoldsForGeometry) {
+  const Conv2dGeometry g = GetParam();
+  ASSERT_GT(g.out_h(), 0u);
+  ASSERT_GT(g.out_w(), 0u);
+  Rng rng(9 + g.stride * 31 + g.pad * 7 + g.kernel_h);
+  std::vector<float> x(g.in_channels * g.in_h * g.in_w),
+      y(g.col_rows() * g.col_cols());
   for (auto& v : x) v = static_cast<float>(rng.normal());
   for (auto& v : y) v = static_cast<float>(rng.normal());
 
@@ -269,6 +276,61 @@ TEST(Im2col, Col2imIsAdjoint) {
     rhs += static_cast<double>(x[i]) * back[i];
 
   EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colAdjoint,
+    ::testing::Values(
+        Conv2dGeometry{3, 7, 6, 3, 3, 2, 1},   // stride 2, pad 1
+        Conv2dGeometry{1, 9, 9, 3, 3, 3, 0},   // stride 3, no pad
+        Conv2dGeometry{2, 8, 5, 3, 3, 2, 2},   // pad 2, non-square image
+        Conv2dGeometry{4, 6, 6, 5, 5, 1, 2},   // big kernel, "same"-ish
+        Conv2dGeometry{2, 10, 7, 1, 1, 2, 0},  // 1x1 kernel, stride 2
+        Conv2dGeometry{1, 5, 5, 5, 5, 1, 0},   // kernel == image
+        Conv2dGeometry{2, 7, 7, 3, 1, 2, 1},   // asymmetric 3x1 kernel
+        Conv2dGeometry{3, 4, 4, 2, 2, 2, 1})); // even kernel, stride 2, pad
+
+TEST(Im2col, StridedLdMatchesPackedAndStaysAdjoint) {
+  // The whole-batch conv pipeline writes each sample's columns into a slice
+  // of a wide [col_rows, N*col_cols] buffer via the `ld` parameter. The
+  // strided write must produce exactly the packed columns, and the strided
+  // col2im must remain its adjoint.
+  Rng rng(21);
+  Conv2dGeometry g{2, 6, 5, 3, 3, 2, 1};
+  const std::size_t colr = g.col_rows();
+  const std::size_t colc = g.col_cols();
+  const std::size_t ld = 3 * colc + 4;  // wide buffer, misaligned slice
+  const std::size_t offset = colc + 2;
+
+  std::vector<float> x(2 * 6 * 5);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+
+  std::vector<float> packed(colr * colc);
+  im2col(g, x.data(), packed.data());
+  std::vector<float> wide(colr * ld, -7.0f);
+  im2col(g, x.data(), wide.data() + offset, ld);
+  for (std::size_t r = 0; r < colr; ++r)
+    for (std::size_t c = 0; c < colc; ++c)
+      ASSERT_EQ(wide[r * ld + offset + c], packed[r * colc + c])
+          << "r=" << r << " c=" << c;
+  // Slots outside the written slice are untouched.
+  ASSERT_EQ(wide[0], -7.0f);
+  ASSERT_EQ(wide[offset + colc], -7.0f);
+
+  // Adjoint through the strided view: seed the wide buffer with zeros
+  // outside the slice so col2im(strided) == col2im(packed slice).
+  std::vector<float> y(colr * colc);
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  std::vector<float> ywide(colr * ld, 0.0f);
+  for (std::size_t r = 0; r < colr; ++r)
+    for (std::size_t c = 0; c < colc; ++c)
+      ywide[r * ld + offset + c] = y[r * colc + c];
+
+  std::vector<float> back_packed(x.size(), 0.0f), back_strided(x.size(), 0.0f);
+  col2im(g, y.data(), back_packed.data());
+  col2im(g, ywide.data() + offset, back_strided.data(), ld);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_EQ(back_strided[i], back_packed[i]) << "i=" << i;
 }
 
 TEST(Im2col, OutputGeometry) {
