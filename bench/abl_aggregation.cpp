@@ -9,12 +9,13 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     harness::ScenarioConfig base;
     base.num_clients = static_cast<std::size_t>(flags.get_int("clients", 12));

@@ -11,12 +11,13 @@
 #include "common/stats.h"
 #include "harness/experiment.h"
 #include "net/bandwidth.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     const net::BandwidthPolicy policies[] = {
         net::BandwidthPolicy::kEqual, net::BandwidthPolicy::kInverseRate,

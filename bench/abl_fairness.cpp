@@ -10,12 +10,13 @@
 #include "core/fairness.h"
 #include "core/fedl_strategy.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     harness::ScenarioConfig cfg;
     cfg.num_clients = static_cast<std::size_t>(flags.get_int("clients", 12));

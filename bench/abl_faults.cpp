@@ -8,12 +8,13 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     const std::vector<double> rates =
         flags.get_double_list("dropout", {0.0, 0.1, 0.3});

@@ -14,6 +14,7 @@
 #include "data/synthetic.h"
 #include "fl/engine.h"
 #include "nn/factory.h"
+#include "obs/session.h"
 
 namespace {
 
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     const std::size_t clients =
         static_cast<std::size_t>(flags.get_int("clients", 20));

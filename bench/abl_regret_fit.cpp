@@ -13,12 +13,13 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     const std::vector<double> budgets =
         flags.get_double_list("budgets", {120, 240, 480, 960, 1920});

@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "core/rounding.h"
 #include "fig_common.h"
+#include "obs/session.h"
 
 namespace fedl {
 namespace {
@@ -86,8 +87,7 @@ void end_to_end(const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     fedl::Flags flags(argc, argv);
-    fedl::set_log_level(
-        fedl::parse_log_level(flags.get_string("log", "warn")));
+    fedl::obs::ObsSession session(flags, "warn");
     fedl::rounding_statistics(
         static_cast<std::uint64_t>(flags.get_int("seed", 7)));
     fedl::end_to_end(flags);

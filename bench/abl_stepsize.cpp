@@ -9,12 +9,13 @@
 #include "common/logging.h"
 #include "core/fedl_strategy.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
 
     const std::vector<double> steps =
         flags.get_double_list("steps", {0.02, 0.1, 0.3, 1.0, 3.0});

@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/session.h"
 
 namespace fedl::bench {
 
@@ -45,6 +46,9 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   // Per-client training fan-out (--threads 0 = all cores). Thread count
   // never changes the numbers, only the wall clock.
   cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+  // Per-epoch JSONL decision telemetry (--trace-out; ObsSession truncates
+  // the file at startup, each run appends).
+  cfg.trace_out = flags.get_string("trace-out", "");
   return cfg;
 }
 
@@ -156,7 +160,7 @@ inline int figure_main(int argc, char** argv, const std::string& figure,
                                   const Flags&)) {
   try {
     Flags flags(argc, argv);
-    set_log_level(parse_log_level(flags.get_string("log", "warn")));
+    obs::ObsSession session(flags, "warn");
     fn(figure, task, flags);
     return 0;
   } catch (const std::exception& e) {

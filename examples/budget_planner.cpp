@@ -8,11 +8,12 @@
 #include "common/logging.h"
 #include "core/budget.h"
 #include "harness/experiment.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   Flags flags(argc, argv);
-  set_log_level(parse_log_level(flags.get_string("log", "warn")));
+  obs::ObsSession session(flags, "warn");
 
   const double target = flags.get_double("target-acc", 0.5);
   const auto budgets = flags.get_double_list("budgets", {150, 300, 600, 1200});

@@ -13,11 +13,12 @@
 #include "core/fedl_strategy.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   Flags flags(argc, argv);
-  set_log_level(parse_log_level(flags.get_string("log", "info")));
+  obs::ObsSession session(flags, "info");
 
   harness::ScenarioConfig cfg;
   cfg.task = harness::Task::kFmnistLike;  // 10 "topics" instead of 10 classes

@@ -11,12 +11,15 @@
 #include "data/idx_loader.h"
 #include "data/synthetic.h"
 #include "harness/experiment.h"
+#include "harness/json_export.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   Flags flags(argc, argv);
-  set_log_level(parse_log_level(flags.get_string("log", "info")));
+  obs::ObsSession session(flags, "info");
 
   const std::string dir = flags.get_string("dir", "/tmp");
   const std::string img = dir + "/fedl_demo-images-idx3-ubyte";
@@ -68,8 +71,16 @@ int main(int argc, char** argv) {
                  "session's model, not from scratch.\n";
   }
 
+  // 3) Export both halves plus the run's metrics snapshot as one JSON bundle
+  //    — the {"traces": ..., "metrics": ...} shape notebooks can ingest whole.
+  const std::string bundle = dir + "/fedl_demo_run.json";
+  harness::write_run_json_file(bundle, {first.trace, second.trace},
+                               obs::MetricsRegistry::global().snapshot());
+  std::cout << "run bundle (traces + metrics) written to " << bundle << "\n";
+
   std::remove(img.c_str());
   std::remove(lab.c_str());
   std::remove(ckpt.c_str());
+  std::remove(bundle.c_str());
   return 0;
 }

@@ -4,17 +4,24 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--clients 20] [--budget 400] [--seed 1]
+//
+// Observability (see README "Observability" for the Perfetto walkthrough):
+//   --trace-out=trace.jsonl     per-epoch decision telemetry (JSONL)
+//   --metrics-out=metrics.json  counters/gauges/histograms snapshot at exit
+//   --profile-out=profile.json  Chrome-trace timeline (chrome://tracing)
 #include <iostream>
 
 #include "common/config.h"
 #include "common/logging.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
 
 int main(int argc, char** argv) {
   using namespace fedl;
   Flags flags(argc, argv);
-  set_log_level(parse_log_level(flags.get_string("log", "info")));
+  obs::ObsSession session(flags, "info");
 
   harness::ScenarioConfig cfg;
   cfg.task = harness::Task::kFmnistLike;
@@ -26,6 +33,7 @@ int main(int argc, char** argv) {
   cfg.train_samples = static_cast<std::size_t>(flags.get_int("samples", 1200));
   cfg.width_scale = flags.get_double("scale", 0.15);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.trace_out = session.trace_out();
 
   std::cout << "FedL quickstart: " << cfg.num_clients << " clients, budget "
             << cfg.budget << ", " << (cfg.iid ? "IID" : "non-IID")
@@ -44,5 +52,7 @@ int main(int argc, char** argv) {
   harness::print_accuracy_at_time_table(std::cout, traces[0].total_time(),
                                         traces);
   harness::print_time_to_accuracy_table(std::cout, 0.6, traces);
+  harness::print_metrics_summary(std::cout,
+                                 obs::MetricsRegistry::global().snapshot());
   return 0;
 }

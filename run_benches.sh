@@ -1,18 +1,26 @@
 #!/bin/bash
 # Runs every bench binary and collects output; used for bench_output.txt.
-# Also emits BENCH_micro_kernels.json (google-benchmark JSON) so the kernel
-# perf trajectory stays machine-readable across PRs.
+# Also emits BENCH_micro_kernels.json (google-benchmark JSON) and
+# BENCH_metrics.json (the abl_parallel run's metrics-registry snapshot:
+# pool/gemm/solver/engine counters) so the perf trajectory stays
+# machine-readable across PRs.
 cd "$(dirname "$0")"
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     echo "===== $(basename "$b") =====" >> bench_output.txt
-    if [ "$(basename "$b")" = "micro_kernels" ]; then
-      "$b" --benchmark_out=BENCH_micro_kernels.json \
-           --benchmark_out_format=json >> bench_output.txt 2>&1
-    else
-      "$b" >> bench_output.txt 2>&1
-    fi
+    case "$(basename "$b")" in
+      micro_kernels)
+        "$b" --benchmark_out=BENCH_micro_kernels.json \
+             --benchmark_out_format=json >> bench_output.txt 2>&1
+        ;;
+      abl_parallel)
+        "$b" --metrics-out=BENCH_metrics.json >> bench_output.txt 2>&1
+        ;;
+      *)
+        "$b" >> bench_output.txt 2>&1
+        ;;
+    esac
     echo "" >> bench_output.txt
   fi
 done

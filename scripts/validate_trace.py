@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts the fedl binaries emit.
+
+Checks any subset of the three artifact kinds (stdlib only, no deps):
+
+  --trace    trace.jsonl    per-epoch JSONL decision telemetry
+                            (harness/experiment.cpp schema)
+  --metrics  metrics.json   metrics-registry snapshot (obs/metrics.h shape)
+  --profile  profile.json   Chrome-trace / Perfetto timeline (obs/profile.h)
+
+Exits 0 when every provided artifact is well formed, 1 with a message
+otherwise. Wired into ctest as `obs_artifacts` (tests/CMakeLists.txt) so a
+schema drift between the C++ emitters and this validator fails the suite.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+EPOCH_KEYS = {
+    "type", "algorithm", "epoch", "num_available", "num_selected",
+    "iterations", "rho", "mu0", "eta_max", "latency_s", "epoch_cost",
+    "budget_total", "budget_spent", "budget_remaining",
+    "train_loss_selected", "train_loss_all", "test_loss", "test_accuracy",
+    "num_dropped", "clients",
+}
+
+CLIENT_KEYS = {
+    "id", "cost", "data_size", "tau_loc", "tau_cm_est", "x_frac", "mu",
+    "eta_est", "delta_est", "selected", "eta_hat", "delta_hat", "latency_s",
+    "completed_iters", "dropped",
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(where, msg):
+    raise ValidationError(f"{where}: {msg}")
+
+
+def check_number(where, name, v, allow_null=False):
+    if v is None:
+        if allow_null:
+            return
+        fail(where, f"{name} is null")
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(where, f"{name} is not a number: {v!r}")
+    if isinstance(v, float) and (math.isnan(v) or math.isinf(v)):
+        fail(where, f"{name} is not finite: {v!r}")
+
+
+def validate_trace(path):
+    num_events = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(where, f"invalid JSON: {e}")
+            if not isinstance(event, dict):
+                fail(where, "event is not an object")
+            if event.get("type") != "epoch":
+                fail(where, f"unknown event type {event.get('type')!r}")
+            missing = EPOCH_KEYS - event.keys()
+            if missing:
+                fail(where, f"missing keys: {sorted(missing)}")
+            extra = event.keys() - EPOCH_KEYS
+            if extra:
+                fail(where, f"unexpected keys: {sorted(extra)}")
+            for key in ("eta_max", "latency_s", "epoch_cost", "budget_total",
+                        "budget_spent", "budget_remaining", "test_accuracy"):
+                check_number(where, key, event[key])
+            for key in ("rho", "mu0"):
+                check_number(where, key, event[key], allow_null=True)
+            clients = event["clients"]
+            if not isinstance(clients, list):
+                fail(where, "clients is not an array")
+            if len(clients) != event["num_available"]:
+                fail(where, f"num_available={event['num_available']} but "
+                            f"{len(clients)} client records")
+            selected = 0
+            for i, c in enumerate(clients):
+                cwhere = f"{where} client[{i}]"
+                if not isinstance(c, dict):
+                    fail(cwhere, "not an object")
+                if c.keys() != CLIENT_KEYS:
+                    fail(cwhere, f"key set mismatch: missing "
+                                 f"{sorted(CLIENT_KEYS - c.keys())}, extra "
+                                 f"{sorted(c.keys() - CLIENT_KEYS)}")
+                check_number(cwhere, "cost", c["cost"])
+                check_number(cwhere, "tau_loc", c["tau_loc"])
+                check_number(cwhere, "tau_cm_est", c["tau_cm_est"])
+                if not isinstance(c["selected"], bool):
+                    fail(cwhere, "selected is not a bool")
+                if c["selected"]:
+                    selected += 1
+                    # realized outcomes must be present for selected clients
+                    for key in ("eta_hat", "latency_s", "completed_iters"):
+                        if c[key] is None:
+                            fail(cwhere, f"selected client has null {key}")
+                else:
+                    for key in ("eta_hat", "delta_hat", "latency_s",
+                                "completed_iters"):
+                        if c[key] is not None:
+                            fail(cwhere, f"unselected client has {key}="
+                                         f"{c[key]!r}")
+            if selected != event["num_selected"]:
+                fail(where, f"num_selected={event['num_selected']} but "
+                            f"{selected} clients flagged selected")
+            spent_plus_rest = event["budget_spent"] + event["budget_remaining"]
+            if abs(spent_plus_rest - event["budget_total"]) > 1e-6:
+                fail(where, "budget ledger does not balance: "
+                            f"{event['budget_spent']} + "
+                            f"{event['budget_remaining']} != "
+                            f"{event['budget_total']}")
+            num_events += 1
+    if num_events == 0:
+        fail(path, "no epoch events")
+    return f"{num_events} epoch events"
+
+
+def validate_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap or not isinstance(snap[section], dict):
+            fail(path, f"missing or non-object section {section!r}")
+    for name, v in snap["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"counter {name}: not a non-negative integer: {v!r}")
+    for name, v in snap["gauges"].items():
+        check_number(path, f"gauge {name}", v, allow_null=True)
+    for name, h in snap["histograms"].items():
+        where = f"{path} histogram {name}"
+        bounds = h.get("bounds")
+        counts = h.get("counts")
+        if not isinstance(bounds, list) or not bounds:
+            fail(where, "bounds missing or empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            fail(where, f"bounds not strictly ascending: {bounds}")
+        if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+            fail(where, f"expected {len(bounds) + 1} counts, got {counts!r}")
+        if any(not isinstance(c, int) or c < 0 for c in counts):
+            fail(where, f"counts must be non-negative integers: {counts}")
+        if sum(counts) != h.get("total"):
+            fail(where, f"total={h.get('total')} != sum(counts)={sum(counts)}")
+        check_number(where, "sum", h.get("sum"))
+    n = sum(len(snap[s]) for s in ("counters", "gauges", "histograms"))
+    if n == 0:
+        fail(path, "snapshot is empty")
+    return f"{n} metrics"
+
+
+def validate_profile(path):
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "traceEvents missing or not an array")
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"{path} traceEvents[{i}]"
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            fail(where, f"unexpected phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(where, "missing name")
+        if ph == "X":
+            spans += 1
+            for key in ("ts", "dur"):
+                check_number(where, key, ev.get(key))
+                if ev[key] < 0:
+                    fail(where, f"negative {key}: {ev[key]}")
+            for key in ("pid", "tid"):
+                if not isinstance(ev.get(key), int):
+                    fail(where, f"missing integer {key}")
+    if spans == 0:
+        fail(path, "no complete ('X') span events")
+    return f"{spans} spans"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="per-epoch JSONL decision trace")
+    parser.add_argument("--metrics", help="metrics snapshot JSON")
+    parser.add_argument("--profile", help="Chrome-trace profile JSON")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics or args.profile):
+        parser.error("nothing to validate; pass --trace/--metrics/--profile")
+    try:
+        if args.trace:
+            print(f"OK {args.trace}: {validate_trace(args.trace)}")
+        if args.metrics:
+            print(f"OK {args.metrics}: {validate_metrics(args.metrics)}")
+        if args.profile:
+            print(f"OK {args.profile}: {validate_profile(args.profile)}")
+    except ValidationError as e:
+        print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

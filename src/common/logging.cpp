@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <optional>
 
 #include "common/error.h"
 
 namespace fedl {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_emit_mutex;
 
 const char* level_tag(LogLevel level) {
@@ -29,13 +32,7 @@ const char* level_tag(LogLevel level) {
   }
 }
 
-}  // namespace
-
-void set_log_level(LogLevel level) { g_level.store(level); }
-
-LogLevel log_level() { return g_level.load(); }
-
-LogLevel parse_log_level(const std::string& name) {
+std::optional<LogLevel> try_parse_log_level(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
@@ -44,14 +41,60 @@ LogLevel parse_log_level(const std::string& name) {
   if (lower == "warn") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+// Lazily initialized so binaries that never call set_log_level still honor
+// the FEDL_LOG_LEVEL environment variable as their default threshold.
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{log_level_from_env(LogLevel::kInfo)};
+  return level;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { level_store().store(level); }
+
+LogLevel log_level() { return level_store().load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (auto level = try_parse_log_level(name)) return *level;
   throw ConfigError("unknown log level: " + name);
+}
+
+LogLevel log_level_from_env(LogLevel fallback) {
+  const char* env = std::getenv("FEDL_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return fallback;
+  if (auto level = try_parse_log_level(env)) return *level;
+  // Invalid values must not crash static initialization; warn and fall back.
+  std::fprintf(stderr, "[WARN ] ignoring invalid FEDL_LOG_LEVEL=%s\n", env);
+  return fallback;
+}
+
+int log_thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
 }
 
 namespace detail {
 
 void emit_log(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[16];
+  std::strftime(stamp, sizeof stamp, "%H:%M:%S", &tm_buf);
+
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "[%s.%03d] [T%02d] [%s] %s\n", stamp, millis,
+               log_thread_ordinal(), level_tag(level), message.c_str());
 }
 
 }  // namespace detail

@@ -1,6 +1,8 @@
 // Minimal leveled logger. Benches and examples log progress at Info; the
 // engine logs per-epoch detail at Debug. Output goes to stderr so CSV series
-// printed on stdout by benches stay machine-parseable.
+// printed on stdout by benches stay machine-parseable. Every line carries a
+// wall-clock timestamp and a compact per-thread ordinal:
+//   [12:03:44.125] [T01] [INFO ] message
 #pragma once
 
 #include <sstream>
@@ -10,12 +12,22 @@ namespace fedl {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide log threshold; messages below it are discarded.
+// Process-wide log threshold; messages below it are discarded. The initial
+// threshold comes from the FEDL_LOG_LEVEL environment variable when set (and
+// valid), kInfo otherwise.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 // Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parse_log_level(const std::string& name);
+
+// Level named by the FEDL_LOG_LEVEL environment variable; `fallback` when
+// the variable is unset or names no known level (never throws).
+LogLevel log_level_from_env(LogLevel fallback);
+
+// Small ordinal identifying the calling thread in log output (assigned in
+// first-log order; the main thread is usually T00).
+int log_thread_ordinal();
 
 namespace detail {
 

@@ -6,9 +6,30 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "solver/prox_solver.h"
 
 namespace fedl::core {
+namespace {
+
+// Learner telemetry: the dual/pacing state the paper's analysis tracks (μ^0,
+// ρ_t) plus how often the budget made an epoch infeasible. Gauges hold the
+// latest value, so the snapshot shows the end-of-run state.
+const obs::Gauge& mu0_gauge() {
+  static const obs::Gauge g("learner.mu0");
+  return g;
+}
+const obs::Gauge& rho_gauge() {
+  static const obs::Gauge g("learner.rho");
+  return g;
+}
+const obs::Counter& infeasible_epochs() {
+  static const obs::Counter c("learner.infeasible_epochs");
+  return c;
+}
+
+}  // namespace
 
 OnlineLearner::OnlineLearner(std::size_t num_clients, LearnerConfig cfg)
     : cfg_(cfg),
@@ -43,6 +64,7 @@ double OnlineLearner::delta_estimate(std::size_t client) const {
 
 FractionalDecision OnlineLearner::decide(const sim::EpochContext& ctx,
                                          const BudgetLedger& budget) {
+  FEDL_PROFILE_SCOPE("learner.decide");
   FractionalDecision dec;
   const std::size_t k = ctx.available.size();
   dec.rho = rho_;
@@ -86,6 +108,7 @@ FractionalDecision OnlineLearner::decide(const sim::EpochContext& ctx,
       ++affordable;
     }
     if (affordable == 0) {
+      infeasible_epochs().add();
       dec.ids.clear();
       return dec;
     }
@@ -189,12 +212,14 @@ FractionalDecision OnlineLearner::decide(const sim::EpochContext& ctx,
   }
   rho_ = clamp(res.x[k], 1.0, cfg_.rho_max);
   dec.rho = rho_;
+  rho_gauge().set(rho_);
   return dec;
 }
 
 void OnlineLearner::observe(const sim::EpochContext& ctx,
                             const FractionalDecision& frac,
                             const fl::EpochOutcome& outcome) {
+  FEDL_PROFILE_SCOPE("learner.observe");
   // --- estimate updates -----------------------------------------------------
   last_loss_ = outcome.train_loss_all;
   // Per-client completed-iteration counts: a client that dropped before
@@ -255,6 +280,7 @@ void OnlineLearner::observe(const sim::EpochContext& ctx,
                         0.0, cfg_.mu_max);
   }
 
+  mu0_gauge().set(mu_[0]);
   FEDL_DEBUG << "learner: mu0=" << mu_[0] << " rho=" << rho_
              << " L=" << last_loss_;
 }

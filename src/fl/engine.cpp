@@ -4,10 +4,35 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "parallel/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace fedl::fl {
+namespace {
+
+// Engine-level telemetry: epoch/client-task volume, fault events, and the
+// realized fan-out shape. All counters, so the hot path stays a few relaxed
+// atomic ops and results remain bit-identical at any thread count.
+const obs::Counter& epochs_run_counter() {
+  static const obs::Counter c("fl.epochs");
+  return c;
+}
+const obs::Counter& client_iterations_counter() {
+  static const obs::Counter c("fl.client_iterations");
+  return c;
+}
+const obs::Counter& dropouts_counter() {
+  static const obs::Counter c("fl.dropouts");
+  return c;
+}
+const obs::Histogram& selected_hist() {
+  static const obs::Histogram h("fl.epoch_selected", {1, 2, 4, 8, 16, 32, 64});
+  return h;
+}
+
+}  // namespace
 
 FlEngine::FlEngine(const data::Dataset* train, const data::Dataset* test,
                    sim::EdgeEnvironment* env, nn::Model model,
@@ -87,6 +112,9 @@ nn::EvalResult FlEngine::evaluate_test() {
 
 EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
                                  std::size_t iterations) {
+  FEDL_PROFILE_SCOPE("fl.run_epoch");
+  epochs_run_counter().add();
+  selected_hist().observe(static_cast<double>(selected.size()));
   const sim::EpochContext& ctx = env_->context();
   EpochOutcome out;
   out.epoch = ctx.epoch;
@@ -138,6 +166,7 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
         }
       }
     }
+    dropouts_counter().add(out.num_dropped);
     auto alive = [&](std::size_t i, std::size_t it) {
       return it < drop_iter[i];
     };
@@ -163,13 +192,18 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
       }
       if (alive_idx.empty()) break;  // every participant failed: epoch ends
       for (std::size_t i : alive_idx) ++out.client_completed_iters[i];
+      client_iterations_counter().add(alive_idx.size());
 
       // Phase 1 (clients, concurrent): local gradients ∇F_k(w); then the
       // server reduces ḡ = Σ ϑ_k ∇F_k(w) in client order.
-      run_clients(alive_idx, [&](std::size_t i) {
-        LocalOracle oracle(client_scratch(i), &batches[i]);
-        oracle.loss_grad(w_, &grads[i]);
-      });
+      {
+        FEDL_PROFILE_SCOPE("fl.grad_phase");
+        run_clients(alive_idx, [&](std::size_t i) {
+          FEDL_PROFILE_SCOPE("fl.client_grad");
+          LocalOracle oracle(client_scratch(i), &batches[i]);
+          oracle.loss_grad(w_, &grads[i]);
+        });
+      }
       nn::ParamVec gbar(p, 0.0f);
       for (std::size_t i : alive_idx)
         axpy(static_cast<float>(weights[i] / alive_weight), grads[i], gbar);
@@ -177,13 +211,18 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
 
       // Phase 2 (clients, concurrent): DANE corrections, compressed for the
       // uplink; per-client compressor state keeps concurrent calls safe.
-      run_clients(alive_idx, [&](std::size_t i) {
-        LocalOracle oracle(client_scratch(i), &batches[i]);
-        updates[i] = dane_local_step(oracle, w_, global_grad, cfg_.dane);
-        compressed[i] = compressor_->apply(updates[i].d, selected[i]);
-      });
+      {
+        FEDL_PROFILE_SCOPE("fl.dane_phase");
+        run_clients(alive_idx, [&](std::size_t i) {
+          FEDL_PROFILE_SCOPE("fl.client_dane");
+          LocalOracle oracle(client_scratch(i), &batches[i]);
+          updates[i] = dane_local_step(oracle, w_, global_grad, cfg_.dane);
+          compressed[i] = compressor_->apply(updates[i].d, selected[i]);
+        });
+      }
 
       // Phase 3 (server): ordered reduction into the global model.
+      FEDL_PROFILE_SCOPE("fl.aggregate");
       nn::ParamVec agg(p, 0.0f);
       for (std::size_t i : alive_idx) {
         out.client_eta[i] = std::max(out.client_eta[i], updates[i].eta);

@@ -9,6 +9,8 @@
 #include "data/partition.h"
 #include "nn/factory.h"
 #include "nn/serialize.h"
+#include "obs/event_trace.h"
+#include "obs/profile.h"
 
 namespace fedl::harness {
 namespace {
@@ -19,6 +21,134 @@ data::SyntheticSpec dataset_spec(const ScenarioConfig& cfg) {
           ? data::fmnist_like_spec(cfg.train_samples, cfg.seed)
           : data::cifar_like_spec(cfg.train_samples, cfg.seed);
   return s;
+}
+
+// Decision-time view of the FedL learner, captured BEFORE strategy.observe()
+// mutates the duals and estimates — the trace must show the state the
+// selection was actually made from. Empty vectors for non-FedL strategies.
+struct LearnerSnapshot {
+  bool present = false;
+  double rho = 0.0;                // ρ_t committed by decide()
+  double mu0 = 0.0;                // dual of the global-loss constraint h^0
+  std::vector<double> x_frac;      // x̃_{t,k}, aligned with ctx.available
+  std::vector<double> mu;          // μ^k per available client
+  std::vector<double> eta_est;     // η̂_k used at decision time
+  std::vector<double> delta_est;   // Δ̂_k used at decision time
+
+  static LearnerSnapshot capture(const core::SelectionStrategy& strategy,
+                                 const sim::EpochContext& ctx) {
+    LearnerSnapshot snap;
+    const auto* fedl = dynamic_cast<const core::FedLStrategy*>(&strategy);
+    if (fedl == nullptr) return snap;
+    snap.present = true;
+    snap.rho = fedl->last_fraction().rho;
+    const core::OnlineLearner& learner = fedl->learner();
+    snap.mu0 = learner.mu().empty() ? 0.0 : learner.mu()[0];
+    snap.x_frac.reserve(ctx.available.size());
+    snap.mu.reserve(ctx.available.size());
+    snap.eta_est.reserve(ctx.available.size());
+    snap.delta_est.reserve(ctx.available.size());
+    for (const auto& o : ctx.available) {
+      snap.x_frac.push_back(learner.x_fraction(o.id));
+      snap.mu.push_back(1 + o.id < learner.mu().size()
+                            ? learner.mu()[1 + o.id]
+                            : 0.0);
+      snap.eta_est.push_back(learner.eta_estimate(o.id));
+      snap.delta_est.push_back(learner.delta_estimate(o.id));
+    }
+    return snap;
+  }
+};
+
+// One JSONL record per epoch: the decision context (who was available and at
+// what posted cost/latency), the selection, the learner internals, the budget
+// ledger, and the realized outcome. scripts/validate_trace.py checks this
+// schema; DESIGN.md §Observability maps the fields to the paper's symbols.
+void write_epoch_event(obs::EventTraceWriter& writer,
+                       const std::string& algorithm,
+                       const sim::EpochContext& ctx,
+                       const core::Decision& decision,
+                       const LearnerSnapshot& snap,
+                       const fl::EpochOutcome& out,
+                       const core::BudgetLedger& ledger,
+                       double budget_total) {
+  writer.write_event([&](obs::JsonWriter& w) {
+    w.begin_object();
+    w.key("type").value("epoch");
+    w.key("algorithm").value(algorithm);
+    w.key("epoch").value(static_cast<std::uint64_t>(ctx.epoch));
+    w.key("num_available").value(
+        static_cast<std::uint64_t>(ctx.available.size()));
+    w.key("num_selected").value(
+        static_cast<std::uint64_t>(decision.selected.size()));
+    w.key("iterations").value(
+        static_cast<std::uint64_t>(out.num_iterations));
+    w.key("rho");
+    if (snap.present) w.value(snap.rho); else w.null();
+    w.key("mu0");
+    if (snap.present) w.value(snap.mu0); else w.null();
+    w.key("eta_max").value(out.eta_max);
+    w.key("latency_s").value(out.latency_s);
+    w.key("epoch_cost").value(out.cost);
+    w.key("budget_total").value(budget_total);
+    w.key("budget_spent").value(ledger.spent());
+    w.key("budget_remaining").value(ledger.remaining());
+    w.key("train_loss_selected").value(out.train_loss_selected);
+    w.key("train_loss_all").value(out.train_loss_all);
+    w.key("test_loss").value(out.test_loss);
+    w.key("test_accuracy").value(out.test_accuracy);
+    w.key("num_dropped").value(static_cast<std::uint64_t>(out.num_dropped));
+    w.key("clients").begin_array();
+    for (std::size_t i = 0; i < ctx.available.size(); ++i) {
+      const auto& o = ctx.available[i];
+      // Position of this client in the selected/outcome arrays, if any.
+      std::size_t sel = decision.selected.size();
+      for (std::size_t j = 0; j < decision.selected.size(); ++j)
+        if (decision.selected[j] == o.id) { sel = j; break; }
+      const bool selected = sel < decision.selected.size();
+      w.begin_object();
+      w.key("id").value(static_cast<std::uint64_t>(o.id));
+      w.key("cost").value(o.cost);
+      w.key("data_size").value(static_cast<std::uint64_t>(o.data_size));
+      w.key("tau_loc").value(o.tau_loc);
+      w.key("tau_cm_est").value(o.tau_cm_est);
+      w.key("x_frac");
+      if (snap.present) w.value(snap.x_frac[i]); else w.null();
+      w.key("mu");
+      if (snap.present) w.value(snap.mu[i]); else w.null();
+      w.key("eta_est");
+      if (snap.present) w.value(snap.eta_est[i]); else w.null();
+      w.key("delta_est");
+      if (snap.present) w.value(snap.delta_est[i]); else w.null();
+      w.key("selected").value(selected);
+      w.key("eta_hat");
+      if (selected && sel < out.client_eta.size())
+        w.value(out.client_eta[sel]);
+      else
+        w.null();
+      w.key("delta_hat");
+      if (selected && sel < out.client_loss_reduction.size())
+        w.value(out.client_loss_reduction[sel]);
+      else
+        w.null();
+      w.key("latency_s");
+      if (selected && sel < out.client_latency_s.size())
+        w.value(out.client_latency_s[sel]);
+      else
+        w.null();
+      w.key("completed_iters");
+      if (selected && sel < out.client_completed_iters.size())
+        w.value(static_cast<std::uint64_t>(out.client_completed_iters[sel]));
+      else
+        w.null();
+      w.key("dropped").value(
+          selected && sel < out.client_completed_iters.size() &&
+          out.client_completed_iters[sel] < out.num_iterations);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  });
 }
 
 }  // namespace
@@ -97,6 +227,13 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   RunResult result{fl::TrainTrace{strategy.name(), {}},
                    core::RegretTracker(cfg_.num_clients, rc), 0, false};
 
+  // Structured decision telemetry (opened append: every strategy of a bench
+  // shares the file; ObsSession truncated it at startup).
+  std::unique_ptr<obs::EventTraceWriter> trace_writer;
+  if (!cfg_.trace_out.empty())
+    trace_writer =
+        std::make_unique<obs::EventTraceWriter>(cfg_.trace_out, true);
+
   std::size_t cumulative_rounds = 0;
   double cumulative_time = 0.0;
   // Once the remainder cannot rent even the cheapest possible client, the FL
@@ -108,6 +245,7 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
       result.budget_exhausted = true;
       break;
     }
+    FEDL_PROFILE_SCOPE("harness.epoch");
     const sim::EpochContext& ctx = env.advance_epoch();
 
     // Constraint (3b) requires at least n participants per epoch; when the
@@ -127,7 +265,11 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
       }
     }
 
-    core::Decision decision = strategy.decide(ctx, ledger);
+    core::Decision decision;
+    {
+      FEDL_PROFILE_SCOPE("strategy.decide");
+      decision = strategy.decide(ctx, ledger);
+    }
 
     // Guard the strategy contract: selected clients must be available.
     for (std::size_t id : decision.selected)
@@ -137,6 +279,12 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     fl::EpochOutcome out =
         engine.run_epoch(decision.selected, decision.num_iterations);
     ledger.charge(out.cost);
+    // Snapshot decision-time learner state before observe() advances it.
+    if (trace_writer) {
+      write_epoch_event(*trace_writer, result.trace.algorithm, ctx, decision,
+                        LearnerSnapshot::capture(strategy, ctx), out, ledger,
+                        cfg_.budget);
+    }
     strategy.observe(ctx, decision, out);
 
     double rho = static_cast<double>(std::max<std::size_t>(

@@ -56,6 +56,11 @@ struct ScenarioConfig {
   // run (if the file exists) and save it there after the run — long budget
   // sweeps survive interruption.
   std::string checkpoint_path;
+  // When non-empty: append one JSONL decision event per epoch to this file
+  // (availability set, selection, ρ_t, duals, budget ledger, per-client
+  // observations and realized outcomes). Several runs may share the file;
+  // split downstream by the "algorithm" field.
+  std::string trace_out;
 };
 
 struct RunResult {

@@ -98,4 +98,37 @@ void write_traces_json_file(const std::string& path,
   if (!out) throw ConfigError("short write on JSON: " + path);
 }
 
+void write_metrics_json_file(const std::string& path,
+                             const obs::MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write JSON: " + path);
+  snapshot.write_json(out);
+  out << "\n";
+  if (!out) throw ConfigError("short write on JSON: " + path);
+}
+
+void write_run_json(std::ostream& os,
+                    const std::vector<fl::TrainTrace>& traces,
+                    const obs::MetricsSnapshot& snapshot) {
+  os << "{\"traces\":";
+  // write_traces_json ends with '\n' for standalone files; inline here.
+  os << '[';
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i) os << ',';
+    write_trace_json(os, traces[i]);
+  }
+  os << "],\"metrics\":";
+  snapshot.write_json(os);
+  os << "}\n";
+}
+
+void write_run_json_file(const std::string& path,
+                         const std::vector<fl::TrainTrace>& traces,
+                         const obs::MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write JSON: " + path);
+  write_run_json(out, traces, snapshot);
+  if (!out) throw ConfigError("short write on JSON: " + path);
+}
+
 }  // namespace fedl::harness

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fl/trace.h"
+#include "obs/metrics.h"
 
 namespace fedl::harness {
 
@@ -19,6 +20,19 @@ void write_traces_json(std::ostream& os,
                        const std::vector<fl::TrainTrace>& traces);
 void write_traces_json_file(const std::string& path,
                             const std::vector<fl::TrainTrace>& traces);
+
+// Serializes a metrics snapshot (see obs/metrics.h for the JSON shape).
+void write_metrics_json_file(const std::string& path,
+                             const obs::MetricsSnapshot& snapshot);
+
+// Bundles traces and the metrics snapshot of the run that produced them:
+// {"traces": [...], "metrics": {...}}.
+void write_run_json(std::ostream& os,
+                    const std::vector<fl::TrainTrace>& traces,
+                    const obs::MetricsSnapshot& snapshot);
+void write_run_json_file(const std::string& path,
+                         const std::vector<fl::TrainTrace>& traces,
+                         const obs::MetricsSnapshot& snapshot);
 
 // Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& s);

@@ -86,4 +86,28 @@ void print_rounds_to_accuracy_table(std::ostream& os, double target_acc,
   os << "\n";
 }
 
+void print_metrics_summary(std::ostream& os,
+                           const obs::MetricsSnapshot& snapshot) {
+  os << "== Metrics\n";
+  TextTable t({"metric", "kind", "value", "detail"});
+  for (const auto& [name, v] : snapshot.counters)
+    t.add_row({name, "counter", std::to_string(v), ""});
+  for (const auto& [name, v] : snapshot.gauges)
+    t.add_row({name, "gauge", format_num(v), ""});
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string detail = "mean=" + format_num(h.mean()) + " buckets[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) detail += ' ';
+      detail += i < h.bounds.size()
+                    ? "<=" + format_num(h.bounds[i])
+                    : std::string(">") + format_num(h.bounds.back());
+      detail += ':' + std::to_string(h.counts[i]);
+    }
+    detail += ']';
+    t.add_row({name, "histogram", std::to_string(h.total), detail});
+  }
+  t.write(os);
+  os << "\n";
+}
+
 }  // namespace fedl::harness

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fl/trace.h"
+#include "obs/metrics.h"
 
 namespace fedl::harness {
 
@@ -29,5 +30,10 @@ void print_time_to_accuracy_table(std::ostream& os, double target_acc,
 // "== Table: rounds to <acc>".
 void print_rounds_to_accuracy_table(std::ostream& os, double target_acc,
                                     const std::vector<fl::TrainTrace>& traces);
+
+// "== Metrics" — one row per counter/gauge/histogram in the snapshot
+// (histograms show total / mean / the bucket layout compactly).
+void print_metrics_summary(std::ostream& os,
+                           const obs::MetricsSnapshot& snapshot);
 
 }  // namespace fedl::harness

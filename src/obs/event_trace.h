@@ -1,0 +1,35 @@
+// JSONL event sink for structured telemetry: one JSON object per line,
+// append-friendly so several runs (e.g. every strategy of a figure bench)
+// can share one file and be split downstream by their "algorithm" field.
+// The schema of each event is owned by the caller (the harness emits the
+// per-epoch decision records, see harness/experiment.cpp); this class only
+// guarantees whole-line atomicity under concurrent writers.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace fedl::obs {
+
+class EventTraceWriter {
+ public:
+  // Throws ConfigError when the file cannot be opened.
+  explicit EventTraceWriter(const std::string& path, bool append = true);
+
+  const std::string& path() const { return path_; }
+
+  // Builds one event with the supplied callback (which must write exactly
+  // one JSON value, normally an object) and commits it as a single line.
+  void write_event(const std::function<void(JsonWriter&)>& build);
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace fedl::obs

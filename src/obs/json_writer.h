@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer: comma placement handled by a nesting
+// stack, NaN/Inf emitted as null (JSON has neither), strings escaped.
+// Shared by the metrics snapshot, the Chrome-trace exporter, and the
+// structured event trace so every artifact speaks the same dialect.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedl::obs {
+
+// Escapes quotes, backslashes and control characters for a JSON string body.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key inside an object; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  // NaN/Inf -> null
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+ private:
+  void separate();  // emits "," between siblings
+
+  std::ostream& os_;
+  // One flag per open container: true until the first element is written.
+  std::vector<bool> first_{true};
+};
+
+}  // namespace fedl::obs

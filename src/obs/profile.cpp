@@ -1,0 +1,91 @@
+#include "obs/profile.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "common/error.h"
+#include "obs/json_writer.h"
+
+namespace fedl::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Profiler::Profiler() : epoch_ns_(steady_ns()) {}
+
+Profiler& Profiler::global() {
+  static Profiler* profiler = new Profiler();  // leaked, see metrics.cpp
+  return *profiler;
+}
+
+std::uint64_t Profiler::now_ns() const { return steady_ns() - epoch_ns_; }
+
+Profiler::ThreadLog* Profiler::local_log() {
+  thread_local ThreadLog* log = nullptr;
+  if (!log) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    log = logs_.back().get();
+    log->tid = static_cast<int>(logs_.size());
+  }
+  return log;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->spans.clear();
+  }
+}
+
+std::size_t Profiler::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    n += log->spans.size();
+  }
+  return n;
+}
+
+void Profiler::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    for (const Span& s : log->spans) {
+      w.begin_object();
+      w.key("name").value(s.name);
+      w.key("cat").value("fedl");
+      w.key("ph").value("X");
+      w.key("ts").value(static_cast<double>(s.start_ns) / 1000.0);
+      w.key("dur").value(static_cast<double>(s.dur_ns) / 1000.0);
+      w.key("pid").value(1);
+      w.key("tid").value(log->tid);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Profiler::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write trace: " + path);
+  write_chrome_trace(out);
+  if (!out) throw ConfigError("short write on trace: " + path);
+}
+
+}  // namespace fedl::obs

@@ -1,0 +1,57 @@
+#include "obs/session.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace fedl::obs {
+
+ObsSession::ObsSession(const Flags& flags,
+                       const std::string& default_log_level) {
+  // Precedence: explicit --log > FEDL_LOG_LEVEL env var > binary default.
+  if (flags.has("log"))
+    set_log_level(parse_log_level(flags.get_string("log", default_log_level)));
+  else
+    set_log_level(log_level_from_env(parse_log_level(default_log_level)));
+
+  trace_out_ = flags.get_string("trace-out", "");
+  metrics_out_ = flags.get_string("metrics-out", "");
+  profile_out_ = flags.get_string("profile-out", "");
+
+  if (!trace_out_.empty()) {
+    // Runs append per-epoch events; start every invocation from a clean
+    // file so stale epochs from a previous process never mix in.
+    std::ofstream truncate(trace_out_, std::ios::trunc);
+    if (!truncate) throw ConfigError("cannot open trace file: " + trace_out_);
+  }
+  if (!profile_out_.empty()) {
+    Profiler::global().clear();
+    Profiler::global().set_enabled(true);
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    if (!profile_out_.empty()) {
+      Profiler::global().set_enabled(false);
+      Profiler::global().write_chrome_trace_file(profile_out_);
+      FEDL_INFO << "wrote " << Profiler::global().num_spans()
+                << " profile spans to " << profile_out_;
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream out(metrics_out_, std::ios::trunc);
+      if (!out) throw ConfigError("cannot write metrics: " + metrics_out_);
+      MetricsRegistry::global().snapshot().write_json(out);
+      FEDL_INFO << "wrote metrics snapshot to " << metrics_out_;
+    }
+    if (!trace_out_.empty())
+      FEDL_INFO << "decision trace at " << trace_out_;
+  } catch (const std::exception& e) {
+    FEDL_WARN << "failed to flush observability artifacts: " << e.what();
+  }
+}
+
+}  // namespace fedl::obs

@@ -1,0 +1,49 @@
+// Per-binary observability bootstrap shared by every bench and example.
+//
+//   int main(int argc, char** argv) {
+//     Flags flags(argc, argv);
+//     obs::ObsSession session(flags, "warn");
+//     ...
+//   }
+//
+// replaces the hand-rolled set_log_level(parse_log_level(...)) boilerplate
+// and gives the binary three standard flags:
+//
+//   --log=<debug|info|warn|error|off>   explicit log level (highest priority;
+//                                       else FEDL_LOG_LEVEL env var, else the
+//                                       binary's default)
+//   --metrics-out=<file>   write the metrics-registry snapshot (JSON) at exit
+//   --profile-out=<file>   enable the scoped profiler and write a Chrome-
+//                          trace JSON at exit
+//   --trace-out=<file>     truncate <file> now; harness runs configured with
+//                          trace_out() append per-epoch JSONL events to it
+//
+// Artifacts are flushed in the destructor, so the session must outlive the
+// instrumented work (declare it first in main).
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+
+namespace fedl::obs {
+
+class ObsSession {
+ public:
+  ObsSession(const Flags& flags, const std::string& default_log_level);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  const std::string& trace_out() const { return trace_out_; }
+  const std::string& metrics_out() const { return metrics_out_; }
+  const std::string& profile_out() const { return profile_out_; }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::string profile_out_;
+};
+
+}  // namespace fedl::obs

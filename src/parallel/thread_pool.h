@@ -43,12 +43,15 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_)
         throw std::runtime_error("ThreadPool::submit after shutdown");
       queue_.emplace_back([task] { (*task)(); });
+      depth = queue_.size();
     }
+    record_submit(depth);
     cv_.notify_one();
     return fut;
   }
@@ -58,6 +61,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  // Metrics hooks (non-template so the obs dependency stays in the .cpp):
+  // queue depth observed after an enqueue, and per-task execution counters.
+  static void record_submit(std::size_t queue_depth);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -4,15 +4,49 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace fedl::solver {
+namespace {
+
+// Solver telemetry: call volume and total inner iterations; the per-call
+// iteration count lands in a histogram so convergence behaviour is visible
+// without logging every solve.
+const obs::Counter& solver_calls() {
+  static const obs::Counter c("solver.calls");
+  return c;
+}
+const obs::Counter& solver_iterations() {
+  static const obs::Counter c("solver.iterations");
+  return c;
+}
+const obs::Histogram& solver_iters_hist() {
+  static const obs::Histogram h("solver.iters_per_call",
+                                {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  return h;
+}
+
+struct SolveRecord {
+  const ProxSolverResult& res;
+  explicit SolveRecord(const ProxSolverResult& r) : res(r) {}
+  ~SolveRecord() {
+    solver_iterations().add(res.iterations);
+    solver_iters_hist().observe(static_cast<double>(res.iterations));
+  }
+};
+
+}  // namespace
 
 ProxSolverResult minimize_projected(const FeasibleSet& set,
                                     std::vector<double> x0,
                                     const Objective& objective,
                                     const ProxSolverOptions& opts) {
+  FEDL_PROFILE_SCOPE("solver.minimize");
+  solver_calls().add();
   FEDL_CHECK_EQ(x0.size(), set.dim());
   ProxSolverResult res;
+  SolveRecord record(res);  // flushes iteration telemetry on every exit path
   res.x = project_intersection(set, std::move(x0), opts.projection);
 
   std::vector<double> grad(res.x.size());

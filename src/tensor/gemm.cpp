@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "tensor/simd_dispatch.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -150,6 +152,17 @@ MicroKernelFn select_micro_kernel() {
   return kernel_6x16_portable;
 }
 
+// Dispatch-layer telemetry: call volume and FLOP throughput per kernel tier,
+// plus which micro-kernel the dispatcher resolved (1 = AVX2+FMA).
+void note_gemm_call(std::size_t m, std::size_t n, std::size_t k) {
+  static const obs::Counter calls("gemm.calls");
+  static const obs::Counter flops("gemm.flops");
+  static const obs::Gauge kernel_avx2("gemm.kernel_avx2");
+  calls.add();
+  flops.add(static_cast<std::uint64_t>(2) * m * n * k);
+  kernel_avx2.set(active_gemm_kernel() == GemmKernel::kAvx2Fma ? 1.0 : 0.0);
+}
+
 // Merges one micro-tile into C: C = alpha*tile + beta_eff*C, plus the fused
 // bias on the final k-panel. beta_eff == 0 must not read C (it may be
 // uninitialized scratch).
@@ -197,6 +210,8 @@ void gemm_bias(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
                const float* b, std::size_t ldb, float beta, float* c,
                std::size_t ldc, BiasMode bias_mode, const float* bias) {
   if (m == 0 || n == 0) return;
+  FEDL_PROFILE_SCOPE("tensor.gemm");
+  note_gemm_call(m, n, k);
   if (k == 0) {
     for (std::size_t i = 0; i < m; ++i) {
       float* crow = c + i * ldc;

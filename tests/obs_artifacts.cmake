@@ -1,0 +1,32 @@
+# ctest driver for the `obs_artifacts` check (registered in
+# tests/CMakeLists.txt): run a small seeded quickstart with every
+# observability flag, then validate all three artifacts with
+# scripts/validate_trace.py. Fails on any non-zero exit.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+  COMMAND ${QUICKSTART}
+    --epochs 3 --clients 8 --samples 300 --scale 0.06 --seed 3 --log warn
+    --trace-out=${WORKDIR}/trace.jsonl
+    --metrics-out=${WORKDIR}/metrics.json
+    --profile-out=${WORKDIR}/profile.json
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_output)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart failed (${run_result}):\n${run_output}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR}
+    --trace ${WORKDIR}/trace.jsonl
+    --metrics ${WORKDIR}/metrics.json
+    --profile ${WORKDIR}/profile.json
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_output
+  ERROR_VARIABLE validate_output)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+          "validate_trace.py failed (${validate_result}):\n${validate_output}")
+endif()
+message(STATUS "${validate_output}")
