@@ -3,6 +3,7 @@
 // thread counts, reports per-epoch wall time and speedup over the serial
 // path, and cross-checks that every thread count produced bit-identical
 // global parameters (the engine's determinism guarantee).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "fl/engine.h"
 #include "nn/factory.h"
 #include "obs/session.h"
+#include "parallel/scheduler.h"
 
 namespace {
 
@@ -91,6 +93,18 @@ int main(int argc, char** argv) {
     const std::vector<double> thread_list =
         flags.get_double_list("threads", {1, 2, 4, 8});
 
+    // One trial at a time; the thread budget must cover the largest
+    // requested fan-out so the sweep measures K workers, not a clipped
+    // grant.
+    std::size_t max_threads = 1;
+    for (double td : thread_list)
+      max_threads = std::max(max_threads, static_cast<std::size_t>(td));
+    Scheduler::instance().configure(
+        static_cast<std::size_t>(
+            flags.get_int("thread-budget",
+                          static_cast<std::int64_t>(max_threads))),
+        1);
+
     std::cout << "== Table: epoch wall time vs num_threads (" << clients
               << " clients, " << iterations << " iters/epoch)\n";
     TextTable table({"threads", "s_per_epoch", "speedup", "bit_identical"});
@@ -114,6 +128,29 @@ int main(int argc, char** argv) {
     }
     table.write(std::cout);
     std::cout << "\n";
+
+    // Trial-level cross-check: the same workload submitted as `--jobs`
+    // concurrent scheduler trials (auto fan-out drawing from the shared
+    // budget, stealing on) must reproduce the serial parameters
+    // bit-for-bit.
+    const std::size_t jobs =
+        static_cast<std::size_t>(flags.get_int("jobs", 4));
+    Scheduler::instance().configure(max_threads, jobs);
+    std::vector<nn::ParamVec> per_trial(jobs);
+    Scheduler::instance().run_trials(jobs, [&](std::size_t i) {
+      per_trial[i] = time_epochs(clients, 0, epochs, iterations, sgd_steps,
+                                 scale, seed)
+                         .final_params;
+    });
+    for (std::size_t i = 0; i < jobs; ++i) {
+      if (per_trial[i] != serial.final_params) {
+        std::cerr << "determinism violation in concurrent trial " << i
+                  << "\n";
+        return 1;
+      }
+    }
+    std::cout << "== Concurrent trials: " << jobs
+              << " scheduler trials bit-identical to serial: yes\n\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "bench failed: " << e.what() << "\n";

@@ -1,6 +1,9 @@
 // Figure 2: accuracy vs training time, Fashion-MNIST-like task, IID and
 // non-IID. Also emits the paper's in-text tables (accuracy after a fixed
 // training time; completion time to a target accuracy and FedL's saving).
+//
+// The eight (algorithm, setting) cells are independent trials: `--jobs 8`
+// runs them concurrently with identical output (see fig_common.h).
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

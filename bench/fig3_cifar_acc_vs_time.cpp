@@ -1,4 +1,6 @@
 // Figure 3: accuracy vs training time, CIFAR-10-like task, IID and non-IID.
+// `--jobs 8` runs the eight (algorithm, setting) trials concurrently with
+// identical output (see fig_common.h).
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

@@ -1,5 +1,7 @@
 // Figure 4: accuracy vs federated round, Fashion-MNIST-like task, IID and
 // non-IID, plus the "rounds to target accuracy" in-text table.
+// `--jobs 8` runs the eight (algorithm, setting) trials concurrently with
+// identical output (see fig_common.h).
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

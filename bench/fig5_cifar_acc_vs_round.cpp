@@ -1,5 +1,6 @@
 // Figure 5: accuracy vs federated round, CIFAR-10-like task, IID and
-// non-IID.
+// non-IID. `--jobs 8` runs the eight (algorithm, setting) trials
+// concurrently with identical output (see fig_common.h).
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

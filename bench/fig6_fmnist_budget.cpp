@@ -1,5 +1,7 @@
 // Figure 6: budget impact for the Fashion-MNIST-like task — final training
 // loss per algorithm as the long-term budget C is swept, IID and non-IID.
+// The grid is 2 settings × |budgets| × 4 algorithms independent trials;
+// `--jobs N` runs N of them concurrently with identical output.
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

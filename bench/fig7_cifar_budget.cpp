@@ -1,4 +1,6 @@
-// Figure 7: budget impact for the CIFAR-10-like task.
+// Figure 7: budget impact for the CIFAR-10-like task. The grid is
+// 2 settings × |budgets| × 4 algorithms independent trials; `--jobs N`
+// runs N of them concurrently with identical output.
 #include "fig_common.h"
 
 int main(int argc, char** argv) {

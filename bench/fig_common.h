@@ -6,9 +6,22 @@
 // The budget figures (Figs. 6–7) sweep the budget and report the final loss
 // per algorithm. Flags let a full-scale run reproduce the paper's exact
 // model sizes (--scale 1.0) while the defaults finish on a laptop CPU.
+//
+// The grid is embarrassingly parallel: every (algorithm, setting[, budget])
+// cell is an independent trial, so the benches submit them through the
+// process-wide Scheduler. `--jobs J` runs J trials concurrently and
+// `--threads K` pins each trial's intra-epoch fan-out (default 0 = each
+// trial draws from the scheduler's remaining thread budget, so `--jobs`
+// alone saturates the machine); `--thread-budget B` caps the total
+// (default: all hardware threads). Every per-trial trace and JSONL decision
+// record is bit-identical to a `--jobs 1 --threads 1` run — trials keep
+// seed-derived RNG streams and ordered reductions, and results/traces are
+// committed in grid order.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,7 +30,9 @@
 #include "common/logging.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/event_trace.h"
 #include "obs/session.h"
+#include "parallel/scheduler.h"
 
 namespace fedl::bench {
 
@@ -43,13 +58,24 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   cfg.dane.sgd_steps =
       static_cast<std::size_t>(flags.get_int("sgd-steps", 3));
-  // Per-client training fan-out (--threads 0 = all cores). Thread count
-  // never changes the numbers, only the wall clock.
-  cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+  // Per-client training fan-out. The default 0 draws each trial's fan-out
+  // from the scheduler's remaining thread budget (so --jobs alone uses the
+  // whole machine, and a bare run uses all cores); an explicit K pins it.
+  // Thread count never changes the numbers, only the wall clock.
+  cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   // Per-epoch JSONL decision telemetry (--trace-out; ObsSession truncates
-  // the file at startup, each run appends).
+  // the file at startup, each trial's events are appended in grid order).
   cfg.trace_out = flags.get_string("trace-out", "");
   return cfg;
+}
+
+// Applies the grid-level concurrency flags to the process-wide scheduler:
+// --jobs (concurrent trials, default 1), --thread-budget (total worker
+// slots, default 0 = hardware concurrency).
+inline void configure_scheduler_from_flags(const Flags& flags) {
+  Scheduler::instance().configure(
+      static_cast<std::size_t>(flags.get_int("thread-budget", 0)),
+      static_cast<std::size_t>(flags.get_int("jobs", 1)));
 }
 
 struct FigureRun {
@@ -57,22 +83,52 @@ struct FigureRun {
   std::vector<fl::TrainTrace> traces;
 };
 
-// Runs the paper roster on both data distributions.
+// Commits the deferred per-trial JSONL buffers to --trace-out in trial
+// order, making the shared file byte-identical for any --jobs value.
+inline void commit_traces(
+    const std::string& trace_out,
+    const std::vector<std::unique_ptr<harness::RunResult>>& results) {
+  if (trace_out.empty()) return;
+  obs::EventTraceWriter writer(trace_out, true);
+  for (const auto& r : results)
+    if (r) writer.write_raw(r->trace_jsonl);
+}
+
+// Runs the paper roster on both data distributions: one scheduler trial per
+// (setting, algorithm) cell. The two Experiments (dataset + partition) are
+// built once per setting and shared by the setting's trials — Experiment::run
+// only reads them.
 inline std::vector<FigureRun> run_roster(const Flags& flags,
                                          harness::Task task) {
-  std::vector<FigureRun> out;
-  for (bool iid : {true, false}) {
+  const std::vector<std::string> roster = harness::paper_roster();
+  std::vector<FigureRun> out(2);
+  std::vector<std::unique_ptr<harness::Experiment>> experiments;
+  struct TrialSpec {
+    std::size_t setting;
+    std::size_t alg;
+  };
+  std::vector<TrialSpec> trials;
+  const bool iids[2] = {true, false};
+  for (std::size_t si = 0; si < 2; ++si) {
     harness::ScenarioConfig cfg = scenario_from_flags(flags, task);
-    cfg.iid = iid;
-    harness::Experiment exp(cfg);
-    FigureRun run;
-    run.setting = iid ? "IID" : "Non-IID";
-    for (const auto& name : harness::paper_roster()) {
-      auto strat = harness::make_strategy(name, cfg);
-      run.traces.push_back(exp.run(*strat).trace);
-    }
-    out.push_back(std::move(run));
+    cfg.iid = iids[si];
+    cfg.defer_trace = true;
+    experiments.push_back(std::make_unique<harness::Experiment>(cfg));
+    out[si].setting = iids[si] ? "IID" : "Non-IID";
+    for (std::size_t ai = 0; ai < roster.size(); ++ai)
+      trials.push_back({si, ai});
   }
+
+  std::vector<std::unique_ptr<harness::RunResult>> results(trials.size());
+  Scheduler::instance().run_trials(trials.size(), [&](std::size_t i) {
+    harness::Experiment& exp = *experiments[trials[i].setting];
+    auto strat = harness::make_strategy(roster[trials[i].alg], exp.config());
+    results[i] = std::make_unique<harness::RunResult>(exp.run(*strat));
+  });
+
+  commit_traces(experiments.front()->config().trace_out, results);
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    out[trials[i].setting].traces.push_back(std::move(results[i]->trace));
   return out;
 }
 
@@ -120,33 +176,51 @@ inline void accuracy_vs_round_figure(const std::string& figure,
   }
 }
 
-// Figs. 6–7: final training loss as a function of the budget.
+// Figs. 6–7: final training loss as a function of the budget. One scheduler
+// trial per (setting, budget, algorithm) cell; each trial owns its
+// Experiment (the dataset build is part of the trial's work).
 inline void budget_impact_figure(const std::string& figure,
                                  harness::Task task, const Flags& flags) {
   const std::vector<double> budgets =
       flags.get_double_list("budgets", {100, 200, 400, 800});
+  const std::vector<std::string> roster = harness::paper_roster();
+
+  struct TrialSpec {
+    bool iid;
+    double budget;
+    std::size_t alg;
+  };
+  std::vector<TrialSpec> trials;
+  for (bool iid : {true, false})
+    for (double budget : budgets)
+      for (std::size_t ai = 0; ai < roster.size(); ++ai)
+        trials.push_back({iid, budget, ai});
+
+  std::vector<std::unique_ptr<harness::RunResult>> results(trials.size());
+  Scheduler::instance().run_trials(trials.size(), [&](std::size_t i) {
+    harness::ScenarioConfig cfg = scenario_from_flags(flags, task);
+    cfg.iid = trials[i].iid;
+    cfg.budget = trials[i].budget;
+    cfg.defer_trace = true;
+    harness::Experiment exp(cfg);
+    auto strat = harness::make_strategy(roster[trials[i].alg], cfg);
+    results[i] = std::make_unique<harness::RunResult>(exp.run(*strat));
+  });
+  commit_traces(flags.get_string("trace-out", ""), results);
+
+  std::size_t cell = 0;
   for (bool iid : {true, false}) {
     const std::string setting = iid ? "IID" : "Non-IID";
     std::cout << "== Series: " << figure << " " << setting
               << " / loss_vs_budget\n";
     CsvTable table;
     table.add_column("budget");
-    harness::ScenarioConfig probe = scenario_from_flags(flags, task);
-    for (const auto& name : harness::paper_roster()) {
-      harness::ScenarioConfig cfg = probe;
-      auto strat = harness::make_strategy(name, cfg);
-      table.add_column(strat->name() + "_loss");
-    }
+    for (const auto& name : roster)
+      table.add_column(harness::strategy_display_name(name) + "_loss");
     for (double budget : budgets) {
       std::vector<double> row = {budget};
-      for (const auto& name : harness::paper_roster()) {
-        harness::ScenarioConfig cfg = scenario_from_flags(flags, task);
-        cfg.iid = iid;
-        cfg.budget = budget;
-        harness::Experiment exp(cfg);
-        auto strat = harness::make_strategy(name, cfg);
-        row.push_back(exp.run(*strat).trace.final_loss());
-      }
+      for (std::size_t ai = 0; ai < roster.size(); ++ai)
+        row.push_back(results[cell++]->trace.final_loss());
       table.append_row(row);
     }
     table.write(std::cout);
@@ -161,6 +235,7 @@ inline int figure_main(int argc, char** argv, const std::string& figure,
   try {
     Flags flags(argc, argv);
     obs::ObsSession session(flags, "warn");
+    configure_scheduler_from_flags(flags);
     fn(figure, task, flags);
     return 0;
   } catch (const std::exception& e) {

@@ -1,10 +1,43 @@
 #!/bin/bash
 # Runs every bench binary and collects output; used for bench_output.txt.
-# Also emits BENCH_micro_kernels.json (google-benchmark JSON) and
+# Also emits BENCH_micro_kernels.json (google-benchmark JSON),
 # BENCH_metrics.json (the abl_parallel run's metrics-registry snapshot:
-# pool/gemm/solver/engine counters) so the perf trajectory stays
+# pool/gemm/solver/engine counters) and BENCH_grid.json (figure-grid wall
+# clock, serial vs --jobs, see below) so the perf trajectory stays
 # machine-readable across PRs.
 cd "$(dirname "$0")"
+
+# Figure-grid scheduler timing: the same Fig. 2 grid serial
+# (--jobs 1 --threads 1) and parallel (--jobs 8, per-trial fan-out from the
+# shared budget). Output is identical by construction (scheduler trials are
+# bit-deterministic); only the wall clock differs. hardware_threads is
+# recorded because the speedup is bounded by the machine the script ran on.
+grid_bench() {
+  local bin=build/bench/fig2_fmnist_acc_vs_time
+  if [ ! -x "$bin" ]; then
+    echo "grid bench skipped: $bin not built" >&2
+    return
+  fi
+  local t0 t1 t2 serial_ns jobs_ns
+  t0=$(date +%s%N)
+  "$bin" --jobs=1 --threads=1 > /dev/null 2>&1
+  t1=$(date +%s%N)
+  "$bin" --jobs=8 > /dev/null 2>&1
+  t2=$(date +%s%N)
+  serial_ns=$((t1 - t0))
+  jobs_ns=$((t2 - t1))
+  awk -v s="$serial_ns" -v j="$jobs_ns" -v hw="$(nproc)" 'BEGIN {
+    printf "{\n"
+    printf "  \"figure\": \"fig2_fmnist_acc_vs_time\",\n"
+    printf "  \"hardware_threads\": %d,\n", hw
+    printf "  \"serial_s\": %.2f,\n", s / 1e9
+    printf "  \"jobs8_s\": %.2f,\n", j / 1e9
+    printf "  \"speedup\": %.2f\n", s / j
+    printf "}\n"
+  }' > BENCH_grid.json
+}
+grid_bench
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then

@@ -30,25 +30,31 @@ std::size_t Dataset::sample_numel() const {
 }
 
 nn::Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+  nn::Batch batch;
+  gather_into(indices, &batch);
+  return batch;
+}
+
+void Dataset::gather_into(const std::vector<std::size_t>& indices,
+                          nn::Batch* out) const {
   FEDL_CHECK(!indices.empty());
+  FEDL_CHECK(out != nullptr);
   const std::size_t elems = sample_numel();
   const Shape& s = images_.shape();
 
   Shape batch_shape =
       s.rank() == 2 ? Shape{indices.size(), s[1]}
                     : Shape{indices.size(), s[1], s[2], s[3]};
-  nn::Batch batch;
-  batch.x = Tensor(batch_shape);
-  batch.y.resize(indices.size());
-  float* dst = batch.x.data();
+  if (out->x.shape() != batch_shape) out->x = Tensor(batch_shape);
+  out->y.resize(indices.size());
+  float* dst = out->x.data();
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::size_t idx = indices[i];
     FEDL_CHECK_LT(idx, size());
     std::memcpy(dst + i * elems, images_.data() + idx * elems,
                 elems * sizeof(float));
-    batch.y[i] = labels_[idx];
+    out->y[i] = labels_[idx];
   }
-  return batch;
 }
 
 nn::Batch Dataset::head(std::size_t limit) const {

@@ -32,6 +32,12 @@ class Dataset {
   // Materialize a batch from sample indices (bounds-checked).
   nn::Batch gather(const std::vector<std::size_t>& indices) const;
 
+  // gather() into a caller-owned batch, reusing its tensor storage when the
+  // shape already matches — the grow-only buffer variant for hot-path
+  // callers (FlEngine re-gathers client minibatches every epoch).
+  void gather_into(const std::vector<std::size_t>& indices,
+                   nn::Batch* out) const;
+
   // Batch over the first `limit` samples (the whole set when limit==0).
   nn::Batch head(std::size_t limit = 0) const;
 

@@ -23,7 +23,7 @@ double LocalOracle::loss_grad(const nn::ParamVec& w, nn::ParamVec* grad) const {
   scratch_->set_params_flat(w);
   if (!grad) return scratch_->evaluate(*batch_).loss;
   const nn::EvalResult r = scratch_->forward_backward(*batch_);
-  *grad = scratch_->grads_flat();
+  scratch_->grads_flat_into(*grad);
   return r.loss;
 }
 

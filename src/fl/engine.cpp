@@ -1,12 +1,12 @@
 #include "fl/engine.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
 #include "tensor/ops.h"
 
 namespace fedl::fl {
@@ -52,27 +52,38 @@ FlEngine::FlEngine(const data::Dataset* train, const data::Dataset* test,
   test_batch_ = test_->head(cfg_.eval_cap);
   compressor_ = compress::make_compressor(cfg_.compressor,
                                           env_->num_clients(), cfg_.seed ^ 0x5eedULL);
-  const std::size_t threads =
-      cfg_.num_threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : cfg_.num_threads;
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  selected_mask_.assign(env_->num_clients(), 0);
 }
 
 void FlEngine::run_clients(const std::vector<std::size_t>& idx,
                            const std::function<void(std::size_t)>& body) {
-  if (!pool_ || idx.size() <= 1) {
+  if (!can_parallel_ || idx.size() <= 1) {
     for (std::size_t i : idx) body(i);
     return;
   }
-  parallel_for(*pool_, 0, idx.size(),
-               [&](std::size_t j) { body(idx[j]); });
+  // Lease extra worker slots from the process-wide budget for this phase.
+  // `--threads K` pins the request at K-1 extra; `--threads 0` asks for the
+  // trial's nominal share and steals whatever is idle beyond it. A zero
+  // grant (budget contended) falls back to running the clients inline —
+  // the trial's own slot always makes progress.
+  Scheduler& sched = Scheduler::instance();
+  const bool auto_fanout = cfg_.num_threads == 0;
+  const std::size_t nominal =
+      (auto_fanout ? sched.auto_share() : cfg_.num_threads) - 1;
+  Scheduler::WorkerLease lease =
+      sched.acquire_workers(nominal, idx.size() - 1, auto_fanout);
+  if (lease.granted() == 0) {
+    for (std::size_t i : idx) body(i);
+    return;
+  }
+  parallel_for_shared(sched.pool(), lease.granted(), 0, idx.size(),
+                      [&](std::size_t j) { body(idx[j]); });
 }
 
 nn::Model* FlEngine::client_scratch(std::size_t i) {
   // Replicas are grown on the main thread (run_epoch) before any fan-out, so
   // indexing here is safe from worker threads.
-  if (!pool_) return &model_;
+  if (!can_parallel_) return &model_;
   FEDL_CHECK_LT(i, replicas_.size());
   return &replicas_[i];
 }
@@ -82,27 +93,33 @@ void FlEngine::set_global_params(nn::ParamVec w) {
   w_ = std::move(w);
 }
 
-nn::Batch FlEngine::client_batch(std::size_t client) {
+void FlEngine::gather_client_batch(std::size_t client, nn::Batch* out) {
   const auto& indices = env_->client_data(client);
   FEDL_CHECK(!indices.empty()) << "client " << client << " has no epoch data";
-  if (indices.size() <= cfg_.batch_cap) return train_->gather(indices);
+  if (indices.size() <= cfg_.batch_cap) {
+    train_->gather_into(indices, out);
+    return;
+  }
   auto pick = rng_.sample_without_replacement(indices.size(), cfg_.batch_cap);
-  std::vector<std::size_t> chosen(pick.size());
-  for (std::size_t i = 0; i < pick.size(); ++i) chosen[i] = indices[pick[i]];
-  return train_->gather(chosen);
+  scratch_idx_.resize(pick.size());
+  for (std::size_t i = 0; i < pick.size(); ++i)
+    scratch_idx_[i] = indices[pick[i]];
+  train_->gather_into(scratch_idx_, out);
 }
 
 double FlEngine::loss_on_indices(const std::vector<std::size_t>& indices) {
   if (indices.empty()) return 0.0;
-  std::vector<std::size_t> capped = indices;
-  if (capped.size() > cfg_.eval_cap) {
-    auto pick = rng_.sample_without_replacement(capped.size(), cfg_.eval_cap);
-    std::vector<std::size_t> chosen(pick.size());
-    for (std::size_t i = 0; i < pick.size(); ++i) chosen[i] = capped[pick[i]];
-    capped = std::move(chosen);
+  const std::vector<std::size_t>* use = &indices;
+  if (indices.size() > cfg_.eval_cap) {
+    auto pick = rng_.sample_without_replacement(indices.size(), cfg_.eval_cap);
+    scratch_idx_.resize(pick.size());
+    for (std::size_t i = 0; i < pick.size(); ++i)
+      scratch_idx_[i] = indices[pick[i]];
+    use = &scratch_idx_;
   }
   model_.set_params_flat(w_);
-  return model_.evaluate(train_->gather(capped)).loss;
+  train_->gather_into(*use, &eval_batch_);
+  return model_.evaluate(eval_batch_).loss;
 }
 
 nn::EvalResult FlEngine::evaluate_test() {
@@ -124,24 +141,30 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
   const std::size_t p = w_.size();
   const std::size_t s = selected.size();
 
+  // Fan-out availability is re-checked per epoch so a reconfigured
+  // scheduler budget takes effect on the next epoch; num_threads == 1 opts
+  // out entirely (pure serial path, no scheduler interaction).
+  can_parallel_ =
+      cfg_.num_threads != 1 && Scheduler::instance().thread_budget() > 1;
+
   if (s > 0) {
     FEDL_CHECK_GT(iterations, 0u);
     // One minibatch per client per epoch; the data a client holds is fixed
-    // within the epoch (paper: D_{t,k} is per-epoch).
-    std::vector<nn::Batch> batches;
-    batches.reserve(s);
-    std::vector<double> weights(s);  // ϑ_k ∝ D_{t,k}
+    // within the epoch (paper: D_{t,k} is per-epoch). Batches are gathered
+    // into grow-only per-slot buffers (no fresh nn::Batch copies).
+    if (batches_.size() < s) batches_.resize(s);
+    weights_.resize(s);  // ϑ_k ∝ D_{t,k}
     double total_data = 0.0;
     for (std::size_t i = 0; i < s; ++i) {
       const std::size_t k = selected[i];
       const auto* obs = ctx.find(k);
       FEDL_CHECK(obs != nullptr) << "selected client " << k
                                  << " is not available in epoch " << ctx.epoch;
-      batches.push_back(client_batch(k));
-      weights[i] = static_cast<double>(obs->data_size);
-      total_data += weights[i];
+      gather_client_batch(k, &batches_[i]);
+      weights_[i] = static_cast<double>(obs->data_size);
+      total_data += weights_[i];
     }
-    for (auto& wgt : weights) wgt /= total_data;
+    for (auto& wgt : weights_) wgt /= total_data;
 
     out.client_eta.assign(s, 0.0);
     out.client_loss_reduction.assign(s, 0.0);
@@ -149,18 +172,18 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
 
     // Grow the scratch-model pool before any fan-out so worker threads only
     // ever index it (one independent replica per selected client).
-    if (pool_)
+    if (can_parallel_)
       while (replicas_.size() < s) replicas_.push_back(model_.clone());
 
-    std::vector<double> payload_bits(s, 0.0);  // last iteration's uplink size
+    payload_bits_.assign(s, 0.0);  // last iteration's uplink size
 
     // Fault injection: a failing client dies before completing iteration
-    // drop_iter[i] (== iterations means it survives the epoch).
-    std::vector<std::size_t> drop_iter(s, iterations);
+    // drop_iter_[i] (== iterations means it survives the epoch).
+    drop_iter_.assign(s, iterations);
     if (cfg_.faults.dropout_prob > 0.0) {
       for (std::size_t i = 0; i < s; ++i) {
         if (rng_.bernoulli(cfg_.faults.dropout_prob)) {
-          drop_iter[i] = static_cast<std::size_t>(rng_.uniform_int(
+          drop_iter_[i] = static_cast<std::size_t>(rng_.uniform_int(
               0, static_cast<std::int64_t>(iterations) - 1));
           ++out.num_dropped;
         }
@@ -168,74 +191,75 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     }
     dropouts_counter().add(out.num_dropped);
     auto alive = [&](std::size_t i, std::size_t it) {
-      return it < drop_iter[i];
+      return it < drop_iter_[i];
     };
 
-    // Per-client scratch buffers reused across iterations; slot i is only
-    // ever touched by the task working on client i, so fan-outs are race
-    // free and the ordered reductions below are deterministic at any thread
-    // count (bit-identical to running the clients inline).
-    std::vector<nn::ParamVec> grads(s);
-    std::vector<LocalUpdate> updates(s);
-    std::vector<compress::CompressedUpdate> compressed(s);
+    // Per-client scratch buffers reused across iterations (and across
+    // epochs — grow-only); slot i is only ever touched by the task working
+    // on client i, so fan-outs are race free and the ordered reductions
+    // below are deterministic at any thread count (bit-identical to running
+    // the clients inline).
+    if (grads_.size() < s) grads_.resize(s);
+    if (updates_.size() < s) updates_.resize(s);
+    if (compressed_.size() < s) compressed_.resize(s);
+    gbar_.resize(p);
+    agg_.resize(p);
 
-    nn::ParamVec global_grad;  // ḡ from the previous phase (empty: bootstrap)
     for (std::size_t it = 0; it < iterations; ++it) {
       // Clients still alive this iteration (weights renormalized).
-      std::vector<std::size_t> alive_idx;
-      alive_idx.reserve(s);
+      alive_idx_.clear();
       double alive_weight = 0.0;
       for (std::size_t i = 0; i < s; ++i) {
         if (!alive(i, it)) continue;
-        alive_idx.push_back(i);
-        alive_weight += weights[i];
+        alive_idx_.push_back(i);
+        alive_weight += weights_[i];
       }
-      if (alive_idx.empty()) break;  // every participant failed: epoch ends
-      for (std::size_t i : alive_idx) ++out.client_completed_iters[i];
-      client_iterations_counter().add(alive_idx.size());
+      if (alive_idx_.empty()) break;  // every participant failed: epoch ends
+      for (std::size_t i : alive_idx_) ++out.client_completed_iters[i];
+      client_iterations_counter().add(alive_idx_.size());
 
       // Phase 1 (clients, concurrent): local gradients ∇F_k(w); then the
       // server reduces ḡ = Σ ϑ_k ∇F_k(w) in client order.
       {
         FEDL_PROFILE_SCOPE("fl.grad_phase");
-        run_clients(alive_idx, [&](std::size_t i) {
+        run_clients(alive_idx_, [&](std::size_t i) {
           FEDL_PROFILE_SCOPE("fl.client_grad");
-          LocalOracle oracle(client_scratch(i), &batches[i]);
-          oracle.loss_grad(w_, &grads[i]);
+          LocalOracle oracle(client_scratch(i), &batches_[i]);
+          oracle.loss_grad(w_, &grads_[i]);
         });
       }
-      nn::ParamVec gbar(p, 0.0f);
-      for (std::size_t i : alive_idx)
-        axpy(static_cast<float>(weights[i] / alive_weight), grads[i], gbar);
-      global_grad = std::move(gbar);
+      std::fill(gbar_.begin(), gbar_.end(), 0.0f);
+      for (std::size_t i : alive_idx_)
+        axpy(static_cast<float>(weights_[i] / alive_weight), grads_[i], gbar_);
 
-      // Phase 2 (clients, concurrent): DANE corrections, compressed for the
-      // uplink; per-client compressor state keeps concurrent calls safe.
+      // Phase 2 (clients, concurrent): DANE corrections against ḡ,
+      // compressed for the uplink; per-client compressor state keeps
+      // concurrent calls safe. gbar_ is read-only during the fan-out.
       {
         FEDL_PROFILE_SCOPE("fl.dane_phase");
-        run_clients(alive_idx, [&](std::size_t i) {
+        run_clients(alive_idx_, [&](std::size_t i) {
           FEDL_PROFILE_SCOPE("fl.client_dane");
-          LocalOracle oracle(client_scratch(i), &batches[i]);
-          updates[i] = dane_local_step(oracle, w_, global_grad, cfg_.dane);
-          compressed[i] = compressor_->apply(updates[i].d, selected[i]);
+          LocalOracle oracle(client_scratch(i), &batches_[i]);
+          updates_[i] = dane_local_step(oracle, w_, gbar_, cfg_.dane);
+          compressed_[i] = compressor_->apply(updates_[i].d, selected[i]);
         });
       }
 
       // Phase 3 (server): ordered reduction into the global model.
       FEDL_PROFILE_SCOPE("fl.aggregate");
-      nn::ParamVec agg(p, 0.0f);
-      for (std::size_t i : alive_idx) {
-        out.client_eta[i] = std::max(out.client_eta[i], updates[i].eta);
+      std::fill(agg_.begin(), agg_.end(), 0.0f);
+      for (std::size_t i : alive_idx_) {
+        out.client_eta[i] = std::max(out.client_eta[i], updates_[i].eta);
         out.client_loss_reduction[i] +=
-            updates[i].loss_before - updates[i].loss_after;
-        payload_bits[i] = compressed[i].payload_bits;
-        axpy(1.0f, compressed[i].restored, agg);
+            updates_[i].loss_before - updates_[i].loss_after;
+        payload_bits_[i] = compressed_[i].payload_bits;
+        axpy(1.0f, compressed_[i].restored, agg_);
       }
       const double denom =
           cfg_.aggregation == AggregationRule::kPaperMean
               ? static_cast<double>(ctx.available.size())
-              : static_cast<double>(alive_idx.size());
-      axpy(static_cast<float>(1.0 / denom), agg, w_);
+              : static_cast<double>(alive_idx_.size());
+      axpy(static_cast<float>(1.0 / denom), agg_, w_);
     }
     for (double e : out.client_eta) out.eta_max = std::max(out.eta_max, e);
 
@@ -246,13 +270,13 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     out.client_latency_s.assign(s, 0.0);
     if (cfg_.compressor != "none") {
       // A client that died before ever uploading still sent a header.
-      for (auto& b : payload_bits)
+      for (auto& b : payload_bits_)
         if (b <= 0.0) b = 64.0;
     }
     const std::vector<double> upload =
         cfg_.compressor == "none"
             ? env_->realized_upload_times(selected)
-            : env_->realized_upload_times(selected, payload_bits);
+            : env_->realized_upload_times(selected, payload_bits_);
     double max_latency = 0.0;
     for (std::size_t i = 0; i < s; ++i) {
       const std::size_t k = selected[i];
@@ -261,7 +285,7 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
       out.client_latency_s[i] = static_cast<double>(iterations) * per_iter;
       // A failed client costs a timeout: the server waited past its nominal
       // finish time before declaring it dead.
-      if (drop_iter[i] < iterations)
+      if (drop_iter_[i] < iterations)
         out.client_latency_s[i] *= cfg_.faults.timeout_multiplier;
       max_latency = std::max(max_latency, out.client_latency_s[i]);
       out.cost += obs->cost;
@@ -269,17 +293,24 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     out.latency_s = max_latency;
   }
 
-  // Evaluation at the end-of-epoch model.
-  std::vector<std::size_t> selected_data;
-  std::vector<std::size_t> all_data;
+  // Evaluation at the end-of-epoch model. Selected-membership is answered
+  // by a per-client-id mask built once per epoch, keeping this epilogue
+  // O(|available| + |selected|) rather than O(|available|·|selected|).
+  for (std::size_t k : selected) {
+    FEDL_CHECK_LT(k, selected_mask_.size());
+    selected_mask_[k] = 1;
+  }
+  selected_data_.clear();
+  all_data_.clear();
   for (const auto& obs : ctx.available) {
     const auto& idx = env_->client_data(obs.id);
-    all_data.insert(all_data.end(), idx.begin(), idx.end());
-    if (std::find(selected.begin(), selected.end(), obs.id) != selected.end())
-      selected_data.insert(selected_data.end(), idx.begin(), idx.end());
+    all_data_.insert(all_data_.end(), idx.begin(), idx.end());
+    if (obs.id < selected_mask_.size() && selected_mask_[obs.id])
+      selected_data_.insert(selected_data_.end(), idx.begin(), idx.end());
   }
-  out.train_loss_selected = loss_on_indices(selected_data);
-  out.train_loss_all = loss_on_indices(all_data);
+  for (std::size_t k : selected) selected_mask_[k] = 0;
+  out.train_loss_selected = loss_on_indices(selected_data_);
+  out.train_loss_all = loss_on_indices(all_data_);
   const nn::EvalResult test = evaluate_test();
   out.test_loss = test.loss;
   out.test_accuracy = test.accuracy;

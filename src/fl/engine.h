@@ -18,7 +18,6 @@
 #include "data/dataset.h"
 #include "fl/dane.h"
 #include "nn/model.h"
-#include "parallel/thread_pool.h"
 #include "sim/environment.h"
 
 namespace fedl::fl {
@@ -50,10 +49,13 @@ struct EngineConfig {
   // Uplink update compression ("none", "quant8", "quant4", "topk10",
   // "topk1"); "none" reproduces the paper's constant payload s.
   std::string compressor = "none";
-  // Worker threads for the per-client inner loops (the paper's cost model
-  // d_k(t) = l_t(τ^loc + τ^cm) assumes clients train concurrently). 1 runs
-  // the clients inline on the caller; 0 picks hardware_concurrency(). Any
-  // value produces bit-identical EpochOutcomes: per-client work is
+  // Per-client fan-out policy (the paper's cost model d_k(t) =
+  // l_t(τ^loc + τ^cm) assumes clients train concurrently). 1 runs the
+  // clients inline on the caller with no scheduler interaction; 0 draws the
+  // fan-out from the process-wide Scheduler's remaining thread budget each
+  // phase (nominal share budget/jobs, stealing idle slots); K > 1 requests
+  // at most K-1 extra workers per fan-out (still bounded by the budget).
+  // Any value produces bit-identical EpochOutcomes: per-client work is
   // independent (thread-local model replicas, per-client compressor state)
   // and the aggregation reduces in client order on the calling thread.
   std::size_t num_threads = 1;
@@ -106,9 +108,11 @@ class FlEngine {
   nn::EvalResult evaluate_test();
 
  private:
-  nn::Batch client_batch(std::size_t client);
+  // Gathers client k's per-epoch minibatch into `out` (reused storage).
+  void gather_client_batch(std::size_t client, nn::Batch* out);
 
-  // Runs body(i) for every index in `idx` — on the pool when one exists,
+  // Runs body(i) for every index in `idx` — fanned out across worker slots
+  // leased from the process-wide Scheduler when the config allows it,
   // inline otherwise. Bodies must only touch per-index state; the call
   // blocks until every index is done.
   void run_clients(const std::vector<std::size_t>& idx,
@@ -128,8 +132,27 @@ class FlEngine {
   Rng rng_;
   nn::Batch test_batch_;  // cached eval subset
   compress::CompressorPtr compressor_;
-  std::unique_ptr<ThreadPool> pool_;  // null when cfg_.num_threads == 1
+  bool can_parallel_ = false;  // fan-out possible this epoch (set per epoch)
   std::vector<nn::Model> replicas_;   // per-client scratch models (parallel)
+
+  // Grow-only hot-path buffers, reused across epochs and iterations so the
+  // steady-state inner loop performs no heap allocation (the per-epoch
+  // EpochOutcome vectors are the only fresh storage — they are handed out).
+  std::vector<nn::Batch> batches_;    // per-selected-client minibatches
+  std::vector<nn::ParamVec> grads_;   // per-client ∇F_k(w)
+  std::vector<LocalUpdate> updates_;  // per-client DANE corrections
+  std::vector<compress::CompressedUpdate> compressed_;
+  nn::ParamVec gbar_;                 // ḡ ordered-reduction buffer
+  nn::ParamVec agg_;                  // aggregation ordered-reduction buffer
+  std::vector<double> weights_;       // ϑ_k per selected client
+  std::vector<double> payload_bits_;  // last uplink size per client
+  std::vector<std::size_t> drop_iter_;   // fault-injection schedule
+  std::vector<std::size_t> alive_idx_;   // per-iteration survivor set
+  std::vector<std::size_t> scratch_idx_; // capped-sampling index buffer
+  std::vector<std::size_t> selected_data_;  // epilogue sample index unions
+  std::vector<std::size_t> all_data_;
+  std::vector<char> selected_mask_;   // by client id, cleared per epoch
+  nn::Batch eval_batch_;              // loss_on_indices gather buffer
 };
 
 }  // namespace fedl::fl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -64,7 +65,10 @@ struct LearnerSnapshot {
 // what posted cost/latency), the selection, the learner internals, the budget
 // ledger, and the realized outcome. scripts/validate_trace.py checks this
 // schema; DESIGN.md §Observability maps the fields to the paper's symbols.
-void write_epoch_event(obs::EventTraceWriter& writer,
+// Events are serialized into `sink` (one line each); the run commits the
+// whole buffer at the end — directly when it owns the file, or via
+// RunResult::trace_jsonl when the caller sequences trials (defer_trace).
+void write_epoch_event(std::string& sink,
                        const std::string& algorithm,
                        const sim::EpochContext& ctx,
                        const core::Decision& decision,
@@ -72,7 +76,9 @@ void write_epoch_event(obs::EventTraceWriter& writer,
                        const fl::EpochOutcome& out,
                        const core::BudgetLedger& ledger,
                        double budget_total) {
-  writer.write_event([&](obs::JsonWriter& w) {
+  std::ostringstream line;
+  {
+    obs::JsonWriter w(line);
     w.begin_object();
     w.key("type").value("epoch");
     w.key("algorithm").value(algorithm);
@@ -148,7 +154,9 @@ void write_epoch_event(obs::EventTraceWriter& writer,
     }
     w.end_array();
     w.end_object();
-  });
+  }
+  sink += line.str();
+  sink += '\n';
 }
 
 }  // namespace
@@ -225,14 +233,13 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   rc.theta = cfg_.theta;
   rc.n_min = cfg_.n_min;
   RunResult result{fl::TrainTrace{strategy.name(), {}},
-                   core::RegretTracker(cfg_.num_clients, rc), 0, false};
+                   core::RegretTracker(cfg_.num_clients, rc), 0, false, {}};
 
-  // Structured decision telemetry (opened append: every strategy of a bench
-  // shares the file; ObsSession truncated it at startup).
-  std::unique_ptr<obs::EventTraceWriter> trace_writer;
-  if (!cfg_.trace_out.empty())
-    trace_writer =
-        std::make_unique<obs::EventTraceWriter>(cfg_.trace_out, true);
+  // Structured decision telemetry, buffered per run so the whole trial
+  // commits as one block (ObsSession truncated the shared file at startup;
+  // concurrent grid trials never interleave lines).
+  const bool tracing = !cfg_.trace_out.empty();
+  std::string trace_buffer;
 
   std::size_t cumulative_rounds = 0;
   double cumulative_time = 0.0;
@@ -280,8 +287,8 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
         engine.run_epoch(decision.selected, decision.num_iterations);
     ledger.charge(out.cost);
     // Snapshot decision-time learner state before observe() advances it.
-    if (trace_writer) {
-      write_epoch_event(*trace_writer, result.trace.algorithm, ctx, decision,
+    if (tracing) {
+      write_epoch_event(trace_buffer, result.trace.algorithm, ctx, decision,
                         LearnerSnapshot::capture(strategy, ctx), out, ledger,
                         cfg_.budget);
     }
@@ -310,6 +317,12 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     ++result.epochs_run;
   }
   if (ledger.exhausted()) result.budget_exhausted = true;
+  if (tracing) {
+    if (cfg_.defer_trace)
+      result.trace_jsonl = std::move(trace_buffer);
+    else
+      obs::EventTraceWriter(cfg_.trace_out, true).write_raw(trace_buffer);
+  }
   if (!cfg_.checkpoint_path.empty())
     nn::save_params(engine.global_params(), cfg_.checkpoint_path);
   FEDL_INFO << strategy.name() << ": " << result.epochs_run << " epochs, "
@@ -360,6 +373,21 @@ std::unique_ptr<core::SelectionStrategy> make_strategy(
   }
   if (name == "oracle")
     return std::make_unique<core::GreedyOracleStrategy>(base);
+  throw ConfigError("unknown strategy: " + name);
+}
+
+std::string strategy_display_name(const std::string& name) {
+  // Mirrors the name() overrides of the strategies make_strategy builds —
+  // kept here so callers that only label output (figure CSV headers) don't
+  // construct and discard a strategy to read its name.
+  if (name == "fedl") return "FedL";
+  if (name == "fedl-ind") return "FedL-Ind";
+  if (name == "fedl-fair") return "FedL-Fair";
+  if (name == "ucb") return "UCB";
+  if (name == "fedavg") return "FedAvg";
+  if (name == "fedcs") return "FedCS";
+  if (name == "powd") return "Pow-d";
+  if (name == "oracle") return "Oracle";
   throw ConfigError("unknown strategy: " + name);
 }
 

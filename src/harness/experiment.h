@@ -50,7 +50,9 @@ struct ScenarioConfig {
   // Server aggregation rule (paper formula vs selected-mean; DESIGN.md §4).
   fl::AggregationRule aggregation = fl::AggregationRule::kSelectedMean;
   // Worker threads for per-client local training (FlEngine fan-out);
-  // 1 = serial, 0 = hardware concurrency. Results are identical either way.
+  // 1 = serial, 0 = draw the fan-out from the process-wide Scheduler's
+  // remaining thread budget, K > 1 = request at most K-1 extra workers.
+  // Results are bit-identical for every setting.
   std::size_t num_threads = 1;
   // When non-empty: load the global model from this checkpoint before the
   // run (if the file exists) and save it there after the run — long budget
@@ -61,6 +63,11 @@ struct ScenarioConfig {
   // observations and realized outcomes). Several runs may share the file;
   // split downstream by the "algorithm" field.
   std::string trace_out;
+  // When true, run() does not touch trace_out itself: the run's JSONL
+  // events are returned in RunResult::trace_jsonl instead, and the caller
+  // commits them (fig_common flushes trial buffers in roster order after a
+  // scheduler grid run, so the file is byte-identical at any --jobs).
+  bool defer_trace = false;
 };
 
 struct RunResult {
@@ -68,6 +75,9 @@ struct RunResult {
   core::RegretTracker regret;
   std::size_t epochs_run = 0;
   bool budget_exhausted = false;
+  // The run's decision-trace events (newline-terminated JSONL) when
+  // defer_trace was set; empty otherwise.
+  std::string trace_jsonl;
 };
 
 class Experiment {
@@ -97,6 +107,10 @@ class Experiment {
 // (independent-rounding ablation), "fedl-fair" (fairness extension).
 std::unique_ptr<core::SelectionStrategy> make_strategy(
     const std::string& name, const ScenarioConfig& cfg);
+
+// Display name (SelectionStrategy::name()) for a factory name, without
+// constructing the strategy. Throws ConfigError for unknown names.
+std::string strategy_display_name(const std::string& name);
 
 // The roster the paper compares (Figs. 2–7).
 std::vector<std::string> paper_roster();

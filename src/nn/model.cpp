@@ -95,11 +95,16 @@ void Model::set_params_flat(std::span<const float> flat) {
 
 ParamVec Model::grads_flat() const {
   ParamVec out;
+  grads_flat_into(out);
+  return out;
+}
+
+void Model::grads_flat_into(ParamVec& out) const {
+  out.clear();
   out.reserve(num_params());
   for (const auto& layer : layers_)
     for (Tensor* g : const_cast<Layer&>(*layer).grads())
       out.insert(out.end(), g->data(), g->data() + g->numel());
-  return out;
 }
 
 void Model::zero_grad() {

@@ -64,6 +64,9 @@ class Model {
   ParamVec params_flat() const;
   void set_params_flat(std::span<const float> flat);
   ParamVec grads_flat() const;
+  // grads_flat() into a caller-owned vector, reusing its capacity — the
+  // allocation-free variant for per-iteration hot paths (LocalOracle).
+  void grads_flat_into(ParamVec& out) const;
   void zero_grad();
 
   double l2_reg() const { return l2_reg_; }

@@ -25,4 +25,12 @@ void EventTraceWriter::write_event(
   if (!out_) throw ConfigError("short write on event trace: " + path_);
 }
 
+void EventTraceWriter::write_raw(const std::string& lines) {
+  if (lines.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << lines;
+  out_.flush();
+  if (!out_) throw ConfigError("short write on event trace: " + path_);
+}
+
 }  // namespace fedl::obs

@@ -26,6 +26,12 @@ class EventTraceWriter {
   // one JSON value, normally an object) and commits it as a single line.
   void write_event(const std::function<void(JsonWriter&)>& build);
 
+  // Commits a pre-serialized block of newline-terminated JSONL lines as one
+  // write. Used by deferred-trace producers (the experiment-grid scheduler
+  // buffers each trial's events and commits whole trials in deterministic
+  // order, so concurrent trials never interleave lines).
+  void write_raw(const std::string& lines);
+
  private:
   std::string path_;
   std::mutex mutex_;

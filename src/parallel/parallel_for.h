@@ -44,6 +44,39 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
   parallel_for(ThreadPool::shared(), begin, end, body);
 }
 
+// Caller-participating variant for scheduler-leased fan-outs: splits
+// [begin, end) into `extra + 1` contiguous chunks, submits `extra` of them
+// to the pool and runs the first chunk on the calling thread (the caller
+// owns a budget slot too, so it must not idle while workers run). Blocks
+// until every chunk finishes; the first task exception is rethrown. Chunk
+// boundaries only affect which thread runs an index, never the values
+// computed — bodies must only touch per-index state.
+template <typename Body>
+void parallel_for_shared(ThreadPool& pool, std::size_t extra,
+                         std::size_t begin, std::size_t end,
+                         const Body& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, extra + 1);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futs.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (std::size_t i = begin; i < std::min(end, begin + per); ++i) body(i);
+  for (auto& f : futs) f.get();
+}
+
 // Parallel reduction: each chunk folds into a thread-local accumulator of
 // type T (initialized with `identity`), then the partials are combined in
 // deterministic chunk order with `combine` — reductions over doubles give

@@ -22,12 +22,17 @@
 #include "data/synthetic.h"
 #include "fl/engine.h"
 #include "nn/factory.h"
+#include "parallel/scheduler.h"
 
 namespace fedl::fl {
 namespace {
 
 struct World {
   World(std::size_t clients, std::uint64_t seed, EngineConfig ec) {
+    // The engine draws its fan-out workers from the process-wide Scheduler.
+    // Pin the budget to the largest thread count these tests request so the
+    // parallel paths run (and TSan sees them) even on a single-core box.
+    Scheduler::instance().configure(8, 1);
     data = std::make_unique<data::TrainTest>(data::make_synthetic_train_test(
         data::fmnist_like_spec(400, seed), 100));
     Rng prng(seed);

@@ -1,0 +1,237 @@
+// Scheduler tests: the two-level experiment-grid scheduler must (a) never
+// let trial runners plus worker leases exceed the thread budget, (b) keep
+// every per-trial result and decision trace bit-identical between a serial
+// run (--jobs 1 --threads 1) and any (jobs, threads) combination, and
+// (c) stay deadlock-free when trials outnumber slots. The suite runs under
+// TSan via `ctest -L sanitize` and doubles as the grid smoke for
+// `ctest -L perf` (a mini 2-setting × 2-algorithm grid must complete).
+//
+// The budget here is configured explicitly (4 or 8) instead of from
+// hardware_concurrency so the concurrent paths are exercised — and TSan
+// sees real cross-thread traffic — even on a single-core CI box.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "harness/experiment.h"
+#include "parallel/scheduler.h"
+
+namespace fedl {
+namespace {
+
+TEST(Scheduler, ConfigureDefaultsAndShares) {
+  Scheduler& s = Scheduler::instance();
+  s.configure(8, 2);
+  EXPECT_EQ(s.thread_budget(), 8u);
+  EXPECT_EQ(s.max_concurrent_trials(), 2u);
+  EXPECT_EQ(s.auto_share(), 4u);  // 8 slots / 2 trials
+
+  s.configure(3, 16);  // jobs clamp to the budget
+  EXPECT_EQ(s.max_concurrent_trials(), 3u);
+  EXPECT_EQ(s.auto_share(), 1u);
+
+  s.configure(0, 1);  // 0 = hardware concurrency, at least one slot
+  EXPECT_GE(s.thread_budget(), 1u);
+}
+
+TEST(Scheduler, LeaseAccountingAndStealing) {
+  Scheduler& s = Scheduler::instance();
+  s.configure(8, 2);
+  s.reset_stats();
+
+  {
+    // Pinned fan-out (allow_steal = false): grant caps at the nominal
+    // share. The non-trial caller is charged 1 slot, so 7 remain.
+    auto pinned = s.acquire_workers(2, 7, false);
+    EXPECT_EQ(pinned.granted(), 2u);
+    EXPECT_EQ(s.stats().leased_slots, 2u);
+
+    // Auto fan-out: may steal the idle remainder beyond its nominal share.
+    auto greedy = s.acquire_workers(2, 7, true);
+    EXPECT_EQ(greedy.granted(), 5u);  // 8 - 1 (caller) - 2 (pinned)
+    EXPECT_EQ(s.stats().leased_slots, 7u);
+    EXPECT_EQ(s.stats().steal_count, 1u);
+    EXPECT_EQ(s.stats().stolen_slots, 3u);  // 5 granted - 2 nominal
+
+    // Budget exhausted: further requests run inline.
+    auto empty = s.acquire_workers(4, 4, true);
+    EXPECT_EQ(empty.granted(), 0u);
+  }
+  // Leases are RAII: everything returned.
+  EXPECT_EQ(s.stats().leased_slots, 0u);
+  EXPECT_LE(s.stats().peak_inflight, s.thread_budget());
+}
+
+TEST(Scheduler, BudgetNeverExceededWhenTrialsOutnumberSlots) {
+  Scheduler& s = Scheduler::instance();
+  s.configure(4, 4);
+  s.reset_stats();
+
+  const std::size_t trials = 12;
+  std::atomic<std::size_t> peak_seen{0};
+  std::vector<std::size_t> runs(trials, 0);
+  s.run_trials(trials, [&](std::size_t i) {
+    auto lease = s.acquire_workers(0, 8, true);
+    const SchedulerStats st = s.stats();
+    EXPECT_LE(st.inflight(), st.thread_budget);
+    std::size_t prev = peak_seen.load();
+    while (prev < st.inflight() &&
+           !peak_seen.compare_exchange_weak(prev, st.inflight())) {
+    }
+    ++runs[i];
+  });
+
+  for (std::size_t i = 0; i < trials; ++i)
+    EXPECT_EQ(runs[i], 1u) << "trial " << i << " must run exactly once";
+  const SchedulerStats st = s.stats();
+  EXPECT_EQ(st.trials_run, trials);
+  EXPECT_EQ(st.active_trials, 0u);
+  EXPECT_EQ(st.leased_slots, 0u);
+  EXPECT_LE(st.peak_inflight, st.thread_budget);
+  EXPECT_LE(peak_seen.load(), st.thread_budget);
+}
+
+TEST(Scheduler, RethrowsLowestIndexTrialError) {
+  Scheduler& s = Scheduler::instance();
+  s.configure(4, 4);
+  std::atomic<std::size_t> completed{0};
+  try {
+    s.run_trials(8, [&](std::size_t i) {
+      if (i == 2 || i == 5)
+        throw std::runtime_error("trial " + std::to_string(i));
+      ++completed;
+    });
+    FAIL() << "expected the trial error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 2");
+  }
+  // A throwing trial must not stop the rest of the grid.
+  EXPECT_EQ(completed.load(), 6u);
+  EXPECT_EQ(s.stats().active_trials, 0u);
+}
+
+TEST(Scheduler, DisplayNamesCoverTheFactory) {
+  harness::ScenarioConfig cfg;
+  for (const char* name :
+       {"fedl", "fedl-ind", "fedl-fair", "ucb", "fedavg", "fedcs", "powd",
+        "oracle"}) {
+    EXPECT_EQ(harness::strategy_display_name(name),
+              harness::make_strategy(name, cfg)->name())
+        << name;
+  }
+  EXPECT_THROW(harness::strategy_display_name("nope"), ConfigError);
+}
+
+// -- Experiment-grid determinism ---------------------------------------
+
+harness::ScenarioConfig tiny_scenario(std::size_t threads) {
+  harness::ScenarioConfig cfg;
+  cfg.task = harness::Task::kFmnistLike;
+  cfg.num_clients = 6;
+  cfg.n_min = 2;
+  cfg.budget = 80.0;
+  cfg.max_epochs = 4;
+  cfg.train_samples = 120;
+  cfg.test_samples = 60;
+  cfg.width_scale = 0.05;
+  cfg.batch_cap = 8;
+  cfg.eval_cap = 32;
+  cfg.dane.sgd_steps = 1;
+  cfg.seed = 5;
+  cfg.num_threads = threads;
+  // Non-empty so decision events are recorded; defer_trace keeps them in
+  // RunResult::trace_jsonl and never touches the file.
+  cfg.trace_out = "scheduler_test_deferred.jsonl";
+  cfg.defer_trace = true;
+  return cfg;
+}
+
+struct GridOut {
+  std::vector<std::string> jsonl;
+  std::vector<double> final_loss;
+  std::vector<std::size_t> epochs;
+};
+
+// The mini grid from fig_common::run_roster: 2 settings x 2 algorithms,
+// Experiments shared per setting, one scheduler trial per cell.
+GridOut run_mini_grid(std::size_t budget, std::size_t jobs,
+                      std::size_t threads) {
+  Scheduler::instance().configure(budget, jobs);
+  const std::vector<std::string> roster = {"fedl", "fedavg"};
+  const bool iids[2] = {true, false};
+
+  std::vector<std::unique_ptr<harness::Experiment>> exps;
+  struct Spec {
+    std::size_t setting;
+    std::size_t alg;
+  };
+  std::vector<Spec> trials;
+  for (std::size_t si = 0; si < 2; ++si) {
+    harness::ScenarioConfig cfg = tiny_scenario(threads);
+    cfg.iid = iids[si];
+    exps.push_back(std::make_unique<harness::Experiment>(cfg));
+    for (std::size_t ai = 0; ai < roster.size(); ++ai)
+      trials.push_back({si, ai});
+  }
+
+  std::vector<std::unique_ptr<harness::RunResult>> res(trials.size());
+  Scheduler::instance().run_trials(trials.size(), [&](std::size_t i) {
+    harness::Experiment& exp = *exps[trials[i].setting];
+    auto strat = harness::make_strategy(roster[trials[i].alg], exp.config());
+    res[i] = std::make_unique<harness::RunResult>(exp.run(*strat));
+  });
+
+  GridOut out;
+  for (const auto& r : res) {
+    out.jsonl.push_back(r->trace_jsonl);
+    out.final_loss.push_back(r->trace.final_loss());
+    out.epochs.push_back(r->epochs_run);
+  }
+  return out;
+}
+
+TEST(SchedulerGrid, TraceBitIdenticalSerialVsJobs4) {
+  const GridOut serial = run_mini_grid(4, 1, 1);
+  // jobs 4, threads 0: four concurrent trials, each drawing leftover slots
+  // from the shared budget (work stealing on).
+  const GridOut par = run_mini_grid(4, 4, 0);
+
+  ASSERT_EQ(serial.jsonl.size(), par.jsonl.size());
+  for (std::size_t i = 0; i < serial.jsonl.size(); ++i) {
+    EXPECT_FALSE(serial.jsonl[i].empty()) << "trial " << i;
+    EXPECT_EQ(serial.jsonl[i], par.jsonl[i]) << "trial " << i;
+    EXPECT_EQ(serial.final_loss[i], par.final_loss[i]) << "trial " << i;
+    EXPECT_EQ(serial.epochs[i], par.epochs[i]) << "trial " << i;
+  }
+}
+
+TEST(SchedulerGrid, MoreTrialsThanSlotsStillDeterministic) {
+  // Width (min(jobs, budget) = 2) below the 4-cell grid: runners claim
+  // trials from the shared counter, results must still be byte-identical.
+  const GridOut serial = run_mini_grid(4, 1, 1);
+  const GridOut narrow = run_mini_grid(2, 2, 0);
+  ASSERT_EQ(serial.jsonl.size(), narrow.jsonl.size());
+  for (std::size_t i = 0; i < serial.jsonl.size(); ++i)
+    EXPECT_EQ(serial.jsonl[i], narrow.jsonl[i]) << "trial " << i;
+}
+
+TEST(SchedulerGrid, MiniGridCompletesWithoutDeadlock) {
+  // `ctest -L perf` smoke: a concurrent 2x2 grid with stealing enabled
+  // finishes and reports sane scheduler accounting.
+  Scheduler::instance().reset_stats();
+  const GridOut par = run_mini_grid(4, 4, 0);
+  EXPECT_EQ(par.jsonl.size(), 4u);
+  const SchedulerStats st = Scheduler::instance().stats();
+  EXPECT_EQ(st.trials_run, 4u);
+  EXPECT_EQ(st.active_trials, 0u);
+  EXPECT_EQ(st.leased_slots, 0u);
+  EXPECT_LE(st.peak_inflight, st.thread_budget);
+}
+
+}  // namespace
+}  // namespace fedl
