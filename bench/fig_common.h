@@ -55,6 +55,9 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   cfg.batch_cap = static_cast<std::size_t>(flags.get_int("batch", 24));
   cfg.eval_cap = static_cast<std::size_t>(flags.get_int("eval", 160));
   cfg.theta = flags.get_double("theta", 0.5);
+  // FedL candidate-pruning width (--width 0 = exact full-E_t solve).
+  cfg.selection_width =
+      static_cast<std::size_t>(flags.get_int("width", 0));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   cfg.dane.sgd_steps =
       static_cast<std::size_t>(flags.get_int("sgd-steps", 3));

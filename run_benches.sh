@@ -2,10 +2,44 @@
 # Runs every bench binary and collects output; used for bench_output.txt.
 # Also emits BENCH_micro_kernels.json (google-benchmark JSON),
 # BENCH_metrics.json (the abl_parallel run's metrics-registry snapshot:
-# pool/gemm/solver/engine counters) and BENCH_grid.json (figure-grid wall
-# clock, serial vs --jobs, see below) so the perf trajectory stays
-# machine-readable across PRs.
+# pool/gemm/solver/engine counters), BENCH_grid.json (figure-grid wall
+# clock, serial vs --jobs, see below) and BENCH_scale.json (fig8 selection-
+# layer scale sweep) so the perf trajectory stays machine-readable across
+# PRs.
+#
+# Committed BENCH_*.json files are only comparable when built the same way:
+# non-Release builds run the benches for smoke value but are REFUSED as JSON
+# emitters. Every emitted JSON is stamped with hardware_threads and the
+# build type so numbers are never compared across machines blindly.
 cd "$(dirname "$0")"
+
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt 2>/dev/null)
+EMIT_JSON=0
+if [ "$BUILD_TYPE" = "Release" ]; then
+  EMIT_JSON=1
+else
+  echo "non-Release build (CMAKE_BUILD_TYPE='${BUILD_TYPE:-unknown}'):" \
+       "refusing to emit BENCH_*.json" >&2
+fi
+
+# Adds {"hardware_threads": N, "build_type": "..."} to an emitted JSON file
+# (object or google-benchmark report alike) in place.
+stamp_json() {
+  local f="$1"
+  [ -f "$f" ] || return
+  python3 - "$f" "$(nproc)" "$BUILD_TYPE" <<'PY'
+import json, sys
+path, hw, bt = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+with open(path) as fh:
+    doc = json.load(fh)
+if isinstance(doc, dict):
+    doc["hardware_threads"] = hw
+    doc["build_type"] = bt
+with open(path, "w") as fh:
+    json.dump(doc, fh, indent=1)
+    fh.write("\n")
+PY
+}
 
 # Figure-grid scheduler timing: the same Fig. 2 grid serial
 # (--jobs 1 --threads 1) and parallel (--jobs 8, per-trial fan-out from the
@@ -18,6 +52,10 @@ grid_bench() {
     echo "grid bench skipped: $bin not built" >&2
     return
   fi
+  if [ "$EMIT_JSON" != "1" ]; then
+    echo "grid bench JSON skipped: non-Release build" >&2
+    return
+  fi
   local t0 t1 t2 serial_ns jobs_ns
   t0=$(date +%s%N)
   "$bin" --jobs=1 --threads=1 > /dev/null 2>&1
@@ -26,15 +64,15 @@ grid_bench() {
   t2=$(date +%s%N)
   serial_ns=$((t1 - t0))
   jobs_ns=$((t2 - t1))
-  awk -v s="$serial_ns" -v j="$jobs_ns" -v hw="$(nproc)" 'BEGIN {
+  awk -v s="$serial_ns" -v j="$jobs_ns" 'BEGIN {
     printf "{\n"
     printf "  \"figure\": \"fig2_fmnist_acc_vs_time\",\n"
-    printf "  \"hardware_threads\": %d,\n", hw
     printf "  \"serial_s\": %.2f,\n", s / 1e9
     printf "  \"jobs8_s\": %.2f,\n", j / 1e9
     printf "  \"speedup\": %.2f\n", s / j
     printf "}\n"
   }' > BENCH_grid.json
+  stamp_json BENCH_grid.json
 }
 grid_bench
 
@@ -44,11 +82,29 @@ for b in build/bench/*; do
     echo "===== $(basename "$b") =====" >> bench_output.txt
     case "$(basename "$b")" in
       micro_kernels)
-        "$b" --benchmark_out=BENCH_micro_kernels.json \
-             --benchmark_out_format=json >> bench_output.txt 2>&1
+        if [ "$EMIT_JSON" = "1" ]; then
+          "$b" --benchmark_out=BENCH_micro_kernels.json \
+               --benchmark_out_format=json >> bench_output.txt 2>&1
+          stamp_json BENCH_micro_kernels.json
+        else
+          "$b" >> bench_output.txt 2>&1
+        fi
         ;;
       abl_parallel)
-        "$b" --metrics-out=BENCH_metrics.json >> bench_output.txt 2>&1
+        if [ "$EMIT_JSON" = "1" ]; then
+          "$b" --metrics-out=BENCH_metrics.json >> bench_output.txt 2>&1
+          stamp_json BENCH_metrics.json
+        else
+          "$b" >> bench_output.txt 2>&1
+        fi
+        ;;
+      fig8_scale_sweep)
+        if [ "$EMIT_JSON" = "1" ]; then
+          "$b" --json-out=BENCH_scale.json >> bench_output.txt 2>&1
+          stamp_json BENCH_scale.json
+        else
+          "$b" >> bench_output.txt 2>&1
+        fi
         ;;
       *)
         "$b" >> bench_output.txt 2>&1

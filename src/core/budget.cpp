@@ -10,6 +10,12 @@ BudgetLedger::BudgetLedger(double total) : total_(total) {
 
 void BudgetLedger::charge(double amount) {
   FEDL_CHECK_GE(amount, 0.0);
+  // Relative slack absorbs accumulation error from summing per-client rents;
+  // anything beyond it is a real overdraw and must fail loudly.
+  const double slack = 1e-9 * (1.0 + total_);
+  FEDL_CHECK_LE(spent_ + amount, total_ + slack)
+      << "budget overdraw: spent " << spent_ << " + charge " << amount
+      << " exceeds total " << total_;
   spent_ += amount;
 }
 

@@ -21,9 +21,11 @@ class BudgetLedger {
   double remaining() const { return total_ - spent_; }
   bool exhausted() const { return remaining() <= 0.0; }
 
-  // Records an epoch's rent; charging more than remains is allowed once
-  // (the epoch that exhausts the budget ends the FL procedure, as in
-  // Algorithm 1's `while C ≥ 0` loop) but never silently.
+  // Records an epoch's rent. Constraint (3a) is a *hard* budget: the
+  // selection layer repairs every integral decision back under the
+  // remaining budget before committing, so an overdraw here is a bug in the
+  // caller — charge() FEDL_CHECKs (up to floating-point slack) that spent_
+  // never exceeds total_ rather than silently spending past it.
   void charge(double amount);
 
   // Paper's T_C range for minimum participation n and the observed cost

@@ -4,8 +4,19 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fedl::core {
+namespace {
+
+// Clients whose post-rounding selection bit had to be flipped to bring the
+// integral selection back under min(cap, remaining budget).
+const obs::Counter& repaired_clients() {
+  static const obs::Counter c("budget.repaired_clients");
+  return c;
+}
+
+}  // namespace
 
 FedLStrategy::FedLStrategy(std::size_t num_clients, FedLConfig cfg)
     : cfg_(cfg),
@@ -38,68 +49,96 @@ Decision FedLStrategy::decide(const sim::EpochContext& ctx,
     }
   }
 
-  // Round the fractional selections (Algorithm 2).
-  std::vector<int> rounded =
-      cfg_.independent_rounding
-          ? independent_round(last_frac_.x, rng_)
-          : rdcs_round(last_frac_.x, rng_);
+  // Round the fractional selections (Algorithm 2) on a copy: observe()
+  // consumes the fractional x̃, so last_frac_.x must stay fractional.
+  rounded_x_ = last_frac_.x;
+  identity_idx_.resize(k);
+  std::iota(identity_idx_.begin(), identity_idx_.end(), std::size_t{0});
+  if (cfg_.independent_rounding) {
+    independent_round_subset(rounded_x_, identity_idx_, rng_);
+  } else {
+    rdcs_round_subset(rounded_x_, identity_idx_, rng_, rdcs_scratch_);
+  }
 
   // --- feasibility repair ---------------------------------------------------
-  // RDCS preserves Σx̃ in expectation but a realization can land below n or
-  // above the budget; repair deterministically, preferring the learner's own
-  // ranking (largest fraction first for top-ups, smallest first for drops).
-  std::vector<std::size_t> order(k);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return last_frac_.x[a] > last_frac_.x[b];
-  });
+  // RDCS preserves Σx̃ in expectation but a realization can land below the
+  // participation floor or above the budget cap (Algorithm 2 preserves Σx,
+  // not Σc·x). Repair deterministically against the learner's own feasible
+  // region: floor = n_eff (n_min shrunk to what the remaining budget can
+  // rent — NOT the raw n_min, which may be unaffordable), ceiling =
+  // min(cap, remaining).
+  order_.resize(k);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return last_frac_.x[a] > last_frac_.x[b];
+                   });
 
-  const std::size_t n_eff =
-      std::min<std::size_t>(cfg_.learner.n_min, k);
+  const std::size_t n_eff = std::min<std::size_t>(
+      std::max<std::size_t>(last_frac_.n_eff, 1), k);
   std::size_t count = 0;
-  for (int r : rounded) count += static_cast<std::size_t>(r);
+  for (std::size_t i = 0; i < k; ++i)
+    count += rounded_x_[i] > 0.5 ? 1u : 0u;
   for (std::size_t oi = 0; oi < k && count < n_eff; ++oi) {
-    const std::size_t i = order[oi];
-    if (!rounded[i]) {
-      rounded[i] = 1;
+    const std::size_t i = order_[oi];
+    if (rounded_x_[i] < 0.5) {
+      rounded_x_[i] = 1.0;
       ++count;
     }
   }
 
-  // Budget repair: drop the lowest-fraction selections until affordable,
-  // but keep at least one client when any single client is affordable.
-  auto total_cost = [&]() {
-    double c = 0.0;
-    for (std::size_t i = 0; i < k; ++i)
-      if (rounded[i]) c += ctx.available[i].cost;
-    return c;
-  };
-  double cost = total_cost();
-  if (cost > budget.remaining()) {
-    for (auto it = order.rbegin(); it != order.rend() && count > 1; ++it) {
-      const std::size_t i = *it;
-      if (!rounded[i]) continue;
-      if (cost <= budget.remaining()) break;
-      rounded[i] = 0;
+  // Budget repair: drop rounded-up clients most-expensive-first, never below
+  // the n_eff floor, until Σc ≤ min(cap, remaining). If the floor is reached
+  // and the selection is still over, fall back to the n_eff cheapest
+  // candidates — affordable by the learner's construction of n_eff, so the
+  // committed selection can never overdraw the ledger.
+  const double limit = std::min(last_frac_.cap, budget.remaining());
+  double cost = 0.0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (rounded_x_[i] > 0.5) cost += last_frac_.cost[i];
+  std::size_t repaired = 0;
+  if (cost > limit) {
+    cost_order_.resize(k);
+    std::iota(cost_order_.begin(), cost_order_.end(), std::size_t{0});
+    std::stable_sort(cost_order_.begin(), cost_order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return last_frac_.cost[a] > last_frac_.cost[b];
+                     });
+    for (std::size_t oi = 0; oi < k; ++oi) {
+      if (cost <= limit || count <= n_eff) break;
+      const std::size_t i = cost_order_[oi];
+      if (rounded_x_[i] < 0.5) continue;
+      rounded_x_[i] = 0.0;
       --count;
-      cost -= ctx.available[i].cost;
+      cost -= last_frac_.cost[i];
+      ++repaired;
     }
-    if (cost > budget.remaining() && count == 1) {
-      // Even one client is unaffordable: swap to the cheapest, or give up.
-      std::size_t cur = k;
-      for (std::size_t i = 0; i < k; ++i)
-        if (rounded[i]) cur = i;
-      std::size_t cheapest = 0;
-      for (std::size_t i = 1; i < k; ++i)
-        if (ctx.available[i].cost < ctx.available[cheapest].cost) cheapest = i;
-      rounded[cur] = 0;
-      if (ctx.available[cheapest].cost <= budget.remaining())
-        rounded[cheapest] = 1;
+    if (cost > limit) {
+      // At the floor and still over the cap: swap to the cheapest n_eff.
+      std::stable_sort(cost_order_.begin(), cost_order_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return last_frac_.cost[a] < last_frac_.cost[b];
+                       });
+      target_.assign(k, 0);
+      for (std::size_t oi = 0; oi < n_eff; ++oi)
+        target_[cost_order_[oi]] = 1;
+      cost = 0.0;
+      count = n_eff;
+      for (std::size_t i = 0; i < k; ++i) {
+        const bool was = rounded_x_[i] > 0.5;
+        const bool now = target_[i] != 0;
+        if (was != now) ++repaired;
+        rounded_x_[i] = now ? 1.0 : 0.0;
+        if (now) cost += last_frac_.cost[i];
+      }
     }
+    repaired_clients().add(static_cast<double>(repaired));
   }
+  FEDL_CHECK_LE(cost, limit + 1e-9 * (1.0 + limit))
+      << "post-repair selection exceeds the budget cap";
 
   for (std::size_t i = 0; i < k; ++i)
-    if (rounded[i]) dec.selected.push_back(last_frac_.ids[i]);
+    if (rounded_x_[i] > 0.5) dec.selected.push_back(last_frac_.ids[i]);
   dec.num_iterations = rho_to_iters(last_frac_.rho, cfg_.l_max);
   participation_.record(last_frac_.ids, dec.selected);
 

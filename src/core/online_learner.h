@@ -6,7 +6,9 @@
 // The learner keeps persistent per-client state across epochs — fractional
 // memory x̃_k, estimated local convergence accuracy η̂_k, and estimated
 // per-iteration loss reduction Δ̂_k — which is exactly the "historic learning
-// results" FedL learns from.
+// results" FedL learns from. That state lives in a pooled sparse store
+// (sparse_state.h): never-seen clients read as the priors and cost nothing,
+// so the learner's footprint is O(clients ever in E_t), not O(M).
 //
 // Constraint encoding for the descent step:
 //  * objective gradient ∇f_t: ∂/∂x̃_k = ρ·(τ^loc_k + τ^cm_k),
@@ -21,6 +23,15 @@
 //  * feasible set: x̃ ∈ [0,1]^{E_t}, ρ ∈ [1, ρ_max], Σ c_k x̃_k ≤ cap_t
 //    (budget pacing within (5a)), Σ x̃_k ≥ n (5b).
 //
+// Candidate pruning (selection_width > 0): before the prox solve the
+// availability set is cut to at most `selection_width` coordinates — the
+// n_min cheapest clients (so the Σx ≥ n floor stays feasible and the
+// infeasibility logic is unchanged) plus the best remaining clients by the
+// paced utility score Δ̂_k·ρ/c_k, chosen with bounded heaps in
+// O(|E_t| log width). Width 0 (default) disables pruning and reproduces the
+// full-E_t solve bit-for-bit; a width ≥ |E_t| selects everyone and is
+// likewise byte-identical.
+//
 // Timing note: rent prices c_{t,k} and latency estimates are posted at the
 // start of the epoch (they are part of the observation), while everything
 // that depends on the training itself (w, d, η, losses) is revealed only
@@ -32,6 +43,7 @@
 
 #include "common/rng.h"
 #include "core/budget.h"
+#include "core/sparse_state.h"
 #include "fl/engine.h"
 #include "sim/environment.h"
 
@@ -51,13 +63,24 @@ struct LearnerConfig {
   double init_eta = 0.5;  // prior local accuracy for unseen clients
   double init_delta_est = 0.1;  // optimistic prior per-iteration loss drop
   double init_loss = 2.303;     // ln(10): loss of a random 10-class model
+  // Max coordinates the prox solve sees per epoch (0 = all of E_t).
+  std::size_t selection_width = 0;
 };
 
-// Fractional decision for one epoch, aligned with ctx.available.
+// Fractional decision for one epoch over the candidate set (all of E_t
+// without pruning; a subset of it with). Clients of E_t outside `ids`
+// implicitly have x̃ = 0 this epoch.
 struct FractionalDecision {
-  std::vector<std::size_t> ids;  // available client ids
-  std::vector<double> x;         // x̃_{t,k} ∈ [0,1]
+  std::vector<std::size_t> ids;  // candidate client ids
+  std::vector<double> x;         // x̃_{t,k} ∈ [0,1], parallel to ids
+  std::vector<double> cost;      // posted rent c_{t,k}, parallel to ids
   double rho = 1.0;              // ρ_t ≥ 1
+  // Per-epoch spend cap the budget halfspace enforced on Σ c·x̃ — the
+  // integral selection must be repaired back under it after rounding.
+  double cap = 0.0;
+  // Feasible participation floor (n_min shrunk to what the remaining
+  // budget can rent); rounding repair must not drop below it.
+  std::size_t n_eff = 0;
 };
 
 class OnlineLearner {
@@ -69,27 +92,50 @@ class OnlineLearner {
   FractionalDecision decide(const sim::EpochContext& ctx,
                             const BudgetLedger& budget);
 
-  // Dual ascent (9) plus estimate updates from the realized epoch.
+  // Dual ascent (9) plus estimate updates from the realized epoch. Only
+  // clients with a nonzero h^k this epoch (the decision's candidates) and
+  // the selected clients' estimates are touched — unavailable clients'
+  // state is bit-identical before and after.
   void observe(const sim::EpochContext& ctx, const FractionalDecision& frac,
                const fl::EpochOutcome& outcome);
 
   // Introspection for tests/benches.
-  const std::vector<double>& mu() const { return mu_; }
+  double mu0() const { return mu0_; }
+  double mu_k(std::size_t client) const;  // dual μ^k of constraint h^k
   double rho() const { return rho_; }
   double x_fraction(std::size_t client) const;
   double eta_estimate(std::size_t client) const;
   double delta_estimate(std::size_t client) const;
   const LearnerConfig& config() const { return cfg_; }
+  // Pooled-state footprint: clients holding a slot / bytes resident.
+  std::size_t active_clients() const { return pool_.active(); }
+  std::size_t resident_bytes() const;
 
  private:
+  // Fills cand_ with the candidate indices into ctx.available (sorted
+  // ascending) and returns the full-E_t mean posted cost.
+  double select_candidates(const sim::EpochContext& ctx);
+
   LearnerConfig cfg_;
   std::size_t num_clients_;
-  std::vector<double> xfrac_;      // persistent fractional memory
+  ClientStatePool pool_;  // x̃_k, η̂_k, Δ̂_k, μ^k per touched client
   double rho_;
-  std::vector<double> mu_;         // [μ^0, μ^1..μ^M]
-  std::vector<double> eta_est_;    // η̂_k
-  std::vector<double> delta_est_;  // Δ̂_k (per-iteration loss reduction)
-  double last_loss_;               // L̂ = F_t(w^{l_t}) of the last epoch
+  double mu0_;            // μ^0: dual of the global-loss constraint h^0
+  double last_loss_;      // L̂ = F_t(w^{l_t}) of the last epoch
+
+  // Grow-only per-epoch scratch (no steady-state allocation in decide()).
+  std::vector<std::size_t> cand_;      // candidate indices into E_t
+  std::vector<double> scratch_cost_;   // per-candidate posted cost
+  std::vector<double> sorted_cost_;    // cost-sorted copy for the floor
+  std::vector<double> tau_;            // τ^loc + τ^cm per candidate
+  std::vector<double> eta_;            // η̂ per candidate
+  std::vector<double> delta_;          // Δ̂ per candidate
+  std::vector<double> anchor_;         // [x̃ anchor, ρ]
+  std::vector<double> grad_f_;         // ∇f_t at the anchor
+  std::vector<double> mu_local_;       // [μ^0, μ^k of candidates]
+  std::vector<std::pair<double, std::size_t>> heap_;  // pruning heaps
+  std::vector<unsigned char> in_cand_; // candidate membership by E_t index
+  IdSlotMap sel_index_;                // selected id → outcome index scratch
 };
 
 }  // namespace fedl::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/error.h"
 
@@ -16,16 +17,21 @@ bool is_fractional(double v) {
 
 }  // namespace
 
-std::vector<int> rdcs_round(const std::vector<double>& fractions, Rng& rng) {
-  std::vector<double> x = fractions;
-  for (double v : x)
-    FEDL_CHECK(v >= -kIntegralTol && v <= 1.0 + kIntegralTol)
-        << "fraction out of [0,1]: " << v;
-  for (auto& v : x) v = std::clamp(v, 0.0, 1.0);
+void rdcs_round_subset(std::vector<double>& x,
+                       const std::vector<std::size_t>& indices, Rng& rng,
+                       RdcsScratch& scratch) {
+  for (std::size_t k : indices) {
+    FEDL_CHECK_LT(k, x.size());
+    FEDL_CHECK(x[k] >= -kIntegralTol && x[k] <= 1.0 + kIntegralTol)
+        << "fraction out of [0,1]: " << x[k];
+    x[k] = std::clamp(x[k], 0.0, 1.0);
+  }
 
   // Active list of fractional coordinates.
-  std::vector<std::size_t> frac;
-  for (std::size_t k = 0; k < x.size(); ++k)
+  std::vector<std::size_t>& frac = scratch.frac;
+  std::vector<std::size_t>& next = scratch.next;
+  frac.clear();
+  for (std::size_t k : indices)
     if (is_fractional(x[k])) frac.push_back(k);
 
   // Algorithm 2's pairing step, iterated until ≤ 1 fractional coordinate
@@ -57,13 +63,12 @@ std::vector<int> rdcs_round(const std::vector<double>& fractions, Rng& rng) {
     }
 
     // Rebuild the active pair membership (at least one became integral).
-    std::vector<std::size_t> next;
-    next.reserve(frac.size());
+    next.clear();
     for (std::size_t k : frac)
       if (is_fractional(x[k])) next.push_back(k);
     FEDL_CHECK_LT(next.size(), frac.size())
         << "RDCS pairing step failed to fix a coordinate";
-    frac = std::move(next);
+    std::swap(frac, next);
   }
 
   // Residual coordinate (when Σ x̃ is non-integral): independent rounding of
@@ -73,19 +78,38 @@ std::vector<int> rdcs_round(const std::vector<double>& fractions, Rng& rng) {
     x[k] = rng.uniform() < x[k] ? 1.0 : 0.0;
   }
 
+  for (std::size_t k : indices) x[k] = x[k] > 0.5 ? 1.0 : 0.0;
+}
+
+void independent_round_subset(std::vector<double>& x,
+                              const std::vector<std::size_t>& indices,
+                              Rng& rng) {
+  for (std::size_t k : indices) {
+    FEDL_CHECK_LT(k, x.size());
+    const double v = std::clamp(x[k], 0.0, 1.0);
+    x[k] = rng.uniform() < v ? 1.0 : 0.0;
+  }
+}
+
+std::vector<int> rdcs_round(const std::vector<double>& fractions, Rng& rng) {
+  std::vector<double> x = fractions;
+  std::vector<std::size_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  RdcsScratch scratch;
+  rdcs_round_subset(x, indices, rng, scratch);
   std::vector<int> out(x.size());
-  for (std::size_t k = 0; k < x.size(); ++k)
-    out[k] = x[k] > 0.5 ? 1 : 0;
+  for (std::size_t k = 0; k < x.size(); ++k) out[k] = x[k] > 0.5 ? 1 : 0;
   return out;
 }
 
 std::vector<int> independent_round(const std::vector<double>& fractions,
                                    Rng& rng) {
-  std::vector<int> out(fractions.size());
-  for (std::size_t k = 0; k < fractions.size(); ++k) {
-    const double v = std::clamp(fractions[k], 0.0, 1.0);
-    out[k] = rng.uniform() < v ? 1 : 0;
-  }
+  std::vector<double> x = fractions;
+  std::vector<std::size_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  independent_round_subset(x, indices, rng);
+  std::vector<int> out(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) out[k] = x[k] > 0.5 ? 1 : 0;
   return out;
 }
 

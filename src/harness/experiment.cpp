@@ -44,16 +44,14 @@ struct LearnerSnapshot {
     snap.present = true;
     snap.rho = fedl->last_fraction().rho;
     const core::OnlineLearner& learner = fedl->learner();
-    snap.mu0 = learner.mu().empty() ? 0.0 : learner.mu()[0];
+    snap.mu0 = learner.mu0();
     snap.x_frac.reserve(ctx.available.size());
     snap.mu.reserve(ctx.available.size());
     snap.eta_est.reserve(ctx.available.size());
     snap.delta_est.reserve(ctx.available.size());
     for (const auto& o : ctx.available) {
       snap.x_frac.push_back(learner.x_fraction(o.id));
-      snap.mu.push_back(1 + o.id < learner.mu().size()
-                            ? learner.mu()[1 + o.id]
-                            : 0.0);
+      snap.mu.push_back(learner.mu_k(o.id));
       snap.eta_est.push_back(learner.eta_estimate(o.id));
       snap.delta_est.push_back(learner.delta_estimate(o.id));
     }
@@ -233,7 +231,11 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   rc.theta = cfg_.theta;
   rc.n_min = cfg_.n_min;
   RunResult result{fl::TrainTrace{strategy.name(), {}},
-                   core::RegretTracker(cfg_.num_clients, rc), 0, false, {}};
+                   core::RegretTracker(cfg_.num_clients, rc),
+                   0,
+                   false,
+                   {},
+                   {}};
 
   // Structured decision telemetry, buffered per run so the whole trial
   // commits as one block (ObsSession truncated the shared file at startup;
@@ -247,9 +249,16 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   // procedure is over (Algorithm 1's `while C ≥ 0` with no affordable rent).
   const double min_rent = environment_spec().device.cost_lo;
 
+  // Consecutive epochs in which the strategy selected nobody: when the
+  // learner keeps declaring epochs infeasible (tight budget, expensive
+  // availability draws) the run would otherwise spin to max_epochs paying
+  // evaluation cost for empty rounds.
+  std::size_t empty_streak = 0;
+
   for (std::size_t t = 0; t < cfg_.max_epochs; ++t) {
     if (ledger.exhausted() || ledger.remaining() < min_rent) {
       result.budget_exhausted = true;
+      result.termination_reason = "budget_exhausted";
       break;
     }
     FEDL_PROFILE_SCOPE("harness.epoch");
@@ -268,6 +277,7 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
       for (std::size_t i = 0; i < need; ++i) cheapest_n += costs[i];
       if (cheapest_n > ledger.remaining()) {
         result.budget_exhausted = true;
+        result.termination_reason = "infeasible_floor";
         break;
       }
     }
@@ -276,6 +286,16 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     {
       FEDL_PROFILE_SCOPE("strategy.decide");
       decision = strategy.decide(ctx, ledger);
+    }
+    if (decision.selected.empty()) {
+      ++empty_streak;
+      if (cfg_.empty_decision_streak > 0 &&
+          empty_streak >= cfg_.empty_decision_streak) {
+        result.termination_reason = "empty_decisions";
+        break;
+      }
+    } else {
+      empty_streak = 0;
     }
 
     // Guard the strategy contract: selected clients must be available.
@@ -317,6 +337,8 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     ++result.epochs_run;
   }
   if (ledger.exhausted()) result.budget_exhausted = true;
+  if (result.termination_reason.empty())
+    result.termination_reason = "max_epochs";
   if (tracing) {
     if (cfg_.defer_trace)
       result.trace_jsonl = std::move(trace_buffer);
@@ -343,6 +365,7 @@ std::unique_ptr<core::SelectionStrategy> make_strategy(
     core::FedLConfig fc;
     fc.learner.n_min = cfg.n_min;
     fc.learner.theta = cfg.theta;
+    fc.learner.selection_width = cfg.selection_width;
     fc.l_max = std::max<std::size_t>(cfg.fixed_iterations * 2, 4);
     fc.learner.rho_max = static_cast<double>(fc.l_max);
     fc.independent_rounding = (name == "fedl-ind");

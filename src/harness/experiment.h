@@ -39,6 +39,13 @@ struct ScenarioConfig {
   std::size_t eval_cap = 256;
   double theta = 0.5;          // θ: desired global-loss bound
   std::size_t fixed_iterations = 3;  // l for the non-adaptive baselines
+  // FedL candidate-pruning width: max coordinates the prox solve sees per
+  // epoch (0 = all of E_t, the exact paper algorithm).
+  std::size_t selection_width = 0;
+  // Terminate the run after this many consecutive epochs in which the
+  // strategy selected nobody (e.g. every remaining epoch is budget-
+  // infeasible) instead of spinning to max_epochs; 0 disables the guard.
+  std::size_t empty_decision_streak = 8;
   std::uint64_t seed = 1;
   fl::DaneConfig dane;
   // FDMA split across the committed participants (bandwidth ablation).
@@ -78,6 +85,11 @@ struct RunResult {
   // The run's decision-trace events (newline-terminated JSONL) when
   // defer_trace was set; empty otherwise.
   std::string trace_jsonl;
+  // Why the run stopped: "budget_exhausted" (ledger done or below the
+  // cheapest rent), "infeasible_floor" (the n cheapest available clients
+  // exceed the remainder), "empty_decisions" (empty_decision_streak hit),
+  // or "max_epochs".
+  std::string termination_reason;
 };
 
 class Experiment {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "data/online.h"
@@ -45,25 +46,40 @@ struct EnvironmentSpec {
   std::size_t expected_participants = 10;
   // How the cell bandwidth is split across the committed participants.
   net::BandwidthPolicy bandwidth = net::BandwidthPolicy::kEqual;
+  // Lazy roster mode for very large M (million-client rosters): no
+  // per-client fleet/channel/stream state is materialized. advance_epoch()
+  // enumerates E_t by geometric skip-sampling over the Bernoulli
+  // availability in O(|E_t|) expected time and derives every per-client
+  // draw on demand from counter-based streams keyed by (seed, epoch, id) —
+  // client-static hardware draws are keyed by (seed, id) alone, so a client
+  // looks the same whenever it reappears. A lazy environment has no data
+  // partition, so the training engine cannot run against it; it serves the
+  // selection layer and the scale benches.
+  bool lazy_sampling = false;
+  std::size_t lazy_data_lo = 32;   // per-client sample count range (lazy)
+  std::size_t lazy_data_hi = 128;
 };
 
 class EdgeEnvironment {
  public:
   EdgeEnvironment(EnvironmentSpec spec, data::Partition partition);
+  // Lazy-sampling environment (spec.lazy_sampling must be true): no
+  // partition, no materialized per-client state.
+  explicit EdgeEnvironment(EnvironmentSpec spec);
 
   std::size_t num_clients() const { return spec_.num_clients; }
   const EnvironmentSpec& spec() const { return spec_; }
+  bool lazy() const { return spec_.lazy_sampling; }
 
   // Advance all time-varying state (availability, costs, fading, data) and
-  // build the observation for the new epoch.
+  // build the observation for the new epoch. O(M) in dense mode,
+  // O(|E_t|) expected in lazy mode.
   const EpochContext& advance_epoch();
   const EpochContext& context() const { return context_; }
   std::size_t epoch() const { return context_.epoch; }
 
-  // Sample indices client k holds in the current epoch.
-  const std::vector<std::size_t>& client_data(std::size_t k) const {
-    return stream_.epoch_indices(k);
-  }
+  // Sample indices client k holds in the current epoch (dense mode only).
+  const std::vector<std::size_t>& client_data(std::size_t k) const;
 
   // Realized uplink latency once the FDMA share is fixed by the committed
   // selection of size `num_selected` (equal-share formula).
@@ -82,14 +98,18 @@ class EdgeEnvironment {
       const std::vector<std::size_t>& selected,
       const std::vector<double>& payload_bits) const;
 
-  const DeviceFleet& fleet() const { return fleet_; }
-  const net::ChannelModel& channel() const { return channel_; }
+  // Dense-mode accessors; FEDL_CHECK in lazy mode (no materialized state).
+  const DeviceFleet& fleet() const;
+  const net::ChannelModel& channel() const;
 
  private:
+  void advance_epoch_lazy();
+
   EnvironmentSpec spec_;
-  DeviceFleet fleet_;
-  net::ChannelModel channel_;
-  data::OnlineDataStream stream_;
+  // Null in lazy mode: the roster never materializes per-client state.
+  std::unique_ptr<DeviceFleet> fleet_;
+  std::unique_ptr<net::ChannelModel> channel_;
+  std::unique_ptr<data::OnlineDataStream> stream_;
   EpochContext context_;
 };
 

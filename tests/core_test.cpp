@@ -22,14 +22,26 @@ TEST(BudgetLedger, ChargesAccumulate) {
   EXPECT_DOUBLE_EQ(b.spent(), 50.0);
   EXPECT_DOUBLE_EQ(b.remaining(), 50.0);
   EXPECT_FALSE(b.exhausted());
-  b.charge(60.0);  // overshoot allowed once (ends the FL procedure)
+  b.charge(50.0);  // spending to exactly the total is fine
   EXPECT_TRUE(b.exhausted());
+  EXPECT_DOUBLE_EQ(b.remaining(), 0.0);
 }
 
 TEST(BudgetLedger, RejectsNonPositiveBudgetAndNegativeCharge) {
   EXPECT_THROW(BudgetLedger(0.0), CheckError);
   BudgetLedger b(10.0);
   EXPECT_THROW(b.charge(-1.0), CheckError);
+}
+
+TEST(BudgetLedger, OverdrawFailsLoudly) {
+  // Constraint (3a) is hard: the selection layer must repair decisions back
+  // under the remainder, so a charge past total_ is a caller bug.
+  BudgetLedger b(100.0);
+  b.charge(90.0);
+  EXPECT_THROW(b.charge(20.0), CheckError);
+  EXPECT_DOUBLE_EQ(b.spent(), 90.0);  // failed charge did not post
+  b.charge(10.0);                     // exact fill still allowed
+  EXPECT_TRUE(b.exhausted());
 }
 
 TEST(HorizonBounds, PaperFormula) {
@@ -148,10 +160,10 @@ TEST(OnlineLearner, DualAscentFollowsUpdateRule) {
   out.train_loss_all = 1.5;  // h^0 = 1.5 − 0.5 = 1.0
   learner.observe(ctx, frac, out);
 
-  EXPECT_NEAR(learner.mu()[0], 0.5 * 1.0, 1e-9);  // δ·h0 from μ=0
+  EXPECT_NEAR(learner.mu0(), 0.5 * 1.0, 1e-9);  // δ·h0 from μ=0
   // h^1 = η x̃_0 ρ − ρ + 1 with observed η = 0.9.
   const double h1 = 0.9 * frac.x[0] * frac.rho - frac.rho + 1.0;
-  EXPECT_NEAR(learner.mu()[1], std::max(0.0, 0.5 * h1), 1e-9);
+  EXPECT_NEAR(learner.mu_k(0), std::max(0.0, 0.5 * h1), 1e-9);
 }
 
 TEST(OnlineLearner, EstimatesTrackObservations) {
@@ -204,7 +216,7 @@ TEST(OnlineLearner, MuIsClipped) {
   fl::EpochOutcome out;
   out.train_loss_all = 100.0;  // huge violation
   learner.observe(ctx, frac, out);
-  EXPECT_LE(learner.mu()[0], 5.0);
+  EXPECT_LE(learner.mu0(), 5.0);
 }
 
 TEST(OnlineLearner, LatencyPressurePushesTowardFastClients) {

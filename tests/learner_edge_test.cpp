@@ -79,7 +79,7 @@ TEST(LearnerEdge, FractionsStayInBoxOverManyEpochs) {
   // Duals grew for 30 epochs of violation; ρ must be pushed up but stay
   // within its cap.
   EXPECT_LE(learner.rho(), learner.config().rho_max + 1e-9);
-  EXPECT_GT(learner.mu()[0], 1.0);
+  EXPECT_GT(learner.mu0(), 1.0);
 }
 
 TEST(LearnerEdge, SatisfiedConstraintDrivesMuToZero) {
@@ -94,7 +94,7 @@ TEST(LearnerEdge, SatisfiedConstraintDrivesMuToZero) {
   fl::EpochOutcome bad;
   bad.train_loss_all = 3.0;
   learner.observe(ctx, frac, bad);
-  const double mu_high = learner.mu()[0];
+  const double mu_high = learner.mu0();
   EXPECT_GT(mu_high, 0.0);
 
   // Then: persistently satisfied -> the positive-part update bleeds μ0 off.
@@ -104,7 +104,7 @@ TEST(LearnerEdge, SatisfiedConstraintDrivesMuToZero) {
     frac = learner.decide(ctx, budget);
     learner.observe(ctx, frac, good);
   }
-  EXPECT_EQ(learner.mu()[0], 0.0);
+  EXPECT_EQ(learner.mu0(), 0.0);
 }
 
 TEST(LearnerEdge, HigherDeltaEstimateRaisesSelectionPressure) {
