@@ -1,0 +1,12 @@
+// Prints the GEMM kernel tier runtime dispatch resolves on this machine
+// (honoring FEDL_GEMM_KERNEL and CPUID). run_benches.sh captures the output
+// and stamps it into every emitted BENCH_*.json so committed numbers record
+// which kernel produced them.
+#include <cstdio>
+
+#include "tensor/simd_dispatch.h"
+
+int main() {
+  std::printf("%s\n", fedl::gemm_kernel_name(fedl::active_gemm_kernel()));
+  return 0;
+}

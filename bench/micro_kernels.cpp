@@ -2,7 +2,10 @@
 // convolution, the DANE local step, the intersection projection, and RDCS.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "common/rng.h"
+#include "parallel/scheduler.h"
 #include "core/fedl_strategy.h"
 #include "core/rounding.h"
 #include "data/synthetic.h"
@@ -17,8 +20,16 @@ namespace {
 
 using namespace fedl;
 
+// Args: {n, threads}. threads == 1 pins the serial macro loop; larger
+// values configure the Scheduler budget so the strip loop leases workers
+// (still bit-identical output — see DESIGN.md §4). threads == 0 uses every
+// hardware thread. Real time is the honest metric for the threaded rows.
 void BM_GemmSquare(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::size_t threads = static_cast<std::size_t>(state.range(1));
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  Scheduler::instance().configure(threads, 1);
   Rng rng(1);
   std::vector<float> a(n * n), b(n * n), c(n * n);
   for (auto& v : a) v = static_cast<float>(rng.normal());
@@ -29,15 +40,34 @@ void BM_GemmSquare(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
                           n * n * 2);
-  state.SetLabel(gemm_kernel_name(active_gemm_kernel()));
+  state.SetLabel(std::string(gemm_kernel_name(active_gemm_kernel())) +
+                 "/threads:" + std::to_string(threads));
+  Scheduler::instance().configure(0, 1);
 }
-BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmSquare)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({256, 8})
+    ->Args({512, 8})
+    ->Args({512, 0})
+    ->UseRealTime();
 
-// Same shape, each micro-kernel pinned explicitly: the delta between
-// /avx2 and /portable is the SIMD dispatch win in isolation.
+// Same shape, each micro-kernel pinned explicitly: the deltas between
+// /avx512, /avx2 and /portable are the SIMD dispatch wins in isolation.
+bool kernel_runnable(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kAvx512: return cpu_supports_avx512();
+    case GemmKernel::kAvx2Fma: return cpu_supports_avx2_fma();
+    case GemmKernel::kPortable: return true;
+  }
+  return false;
+}
+
 void BM_GemmKernel(benchmark::State& state, GemmKernel kernel) {
-  if (kernel == GemmKernel::kAvx2Fma && !cpu_supports_avx2_fma()) {
-    state.SkipWithError("CPU lacks AVX2+FMA");
+  if (!kernel_runnable(kernel)) {
+    state.SkipWithError("CPU lacks the requested SIMD tier");
     return;
   }
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -50,11 +80,12 @@ void BM_GemmKernel(benchmark::State& state, GemmKernel kernel) {
     gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  force_gemm_kernel(
-      resolve_gemm_kernel(nullptr, cpu_supports_avx2_fma()));
+  force_gemm_kernel(resolve_gemm_kernel(nullptr, cpu_supports_avx512(),
+                                        cpu_supports_avx2_fma()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
                           n * n * 2);
 }
+BENCHMARK_CAPTURE(BM_GemmKernel, avx512, GemmKernel::kAvx512)->Arg(256);
 BENCHMARK_CAPTURE(BM_GemmKernel, avx2, GemmKernel::kAvx2Fma)->Arg(256);
 BENCHMARK_CAPTURE(BM_GemmKernel, portable, GemmKernel::kPortable)->Arg(256);
 

@@ -22,19 +22,27 @@ else
        "refusing to emit BENCH_*.json" >&2
 fi
 
-# Adds {"hardware_threads": N, "build_type": "..."} to an emitted JSON file
-# (object or google-benchmark report alike) in place.
+# The GEMM kernel tier runtime dispatch resolved on this machine — recorded
+# in every emitted JSON so committed numbers say which kernel produced them.
+GEMM_KERNEL=unknown
+if [ -x build/bench/gemm_kernel_probe ]; then
+  GEMM_KERNEL=$(build/bench/gemm_kernel_probe 2>/dev/null || echo unknown)
+fi
+
+# Adds {"hardware_threads": N, "build_type": "...", "gemm_kernel": "..."} to
+# an emitted JSON file (object or google-benchmark report alike) in place.
 stamp_json() {
   local f="$1"
   [ -f "$f" ] || return
-  python3 - "$f" "$(nproc)" "$BUILD_TYPE" <<'PY'
+  python3 - "$f" "$(nproc)" "$BUILD_TYPE" "$GEMM_KERNEL" <<'PY'
 import json, sys
-path, hw, bt = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+path, hw, bt, gk = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
 with open(path) as fh:
     doc = json.load(fh)
 if isinstance(doc, dict):
     doc["hardware_threads"] = hw
     doc["build_type"] = bt
+    doc["gemm_kernel"] = gk
 with open(path, "w") as fh:
     json.dump(doc, fh, indent=1)
     fh.write("\n")

@@ -31,6 +31,14 @@ const obs::Histogram& selected_hist() {
   static const obs::Histogram h("fl.epoch_selected", {1, 2, 4, 8, 16, 32, 64});
   return h;
 }
+const obs::Gauge& replica_bytes_gauge() {
+  static const obs::Gauge g("fl.replica_bytes");
+  return g;
+}
+const obs::Gauge& replica_count_gauge() {
+  static const obs::Gauge g("fl.replicas");
+  return g;
+}
 
 }  // namespace
 
@@ -55,10 +63,12 @@ FlEngine::FlEngine(const data::Dataset* train, const data::Dataset* test,
   selected_mask_.assign(env_->num_clients(), 0);
 }
 
-void FlEngine::run_clients(const std::vector<std::size_t>& idx,
-                           const std::function<void(std::size_t)>& body) {
+void FlEngine::run_clients(
+    const std::vector<std::size_t>& idx,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (!can_parallel_ || idx.size() <= 1) {
-    for (std::size_t i : idx) body(i);
+    if (can_parallel_ && !idx.empty()) ensure_replicas(1);
+    for (std::size_t i : idx) body(0, i);
     return;
   }
   // Lease extra worker slots from the process-wide budget for this phase.
@@ -72,20 +82,28 @@ void FlEngine::run_clients(const std::vector<std::size_t>& idx,
       (auto_fanout ? sched.auto_share() : cfg_.num_threads) - 1;
   Scheduler::WorkerLease lease =
       sched.acquire_workers(nominal, idx.size() - 1, auto_fanout);
+  // One replica per chunk, grown on the calling thread before any fan-out
+  // so worker threads only ever index the pool.
+  ensure_replicas(lease.granted() + 1);
   if (lease.granted() == 0) {
-    for (std::size_t i : idx) body(i);
+    for (std::size_t i : idx) body(0, i);
     return;
   }
-  parallel_for_shared(sched.pool(), lease.granted(), 0, idx.size(),
-                      [&](std::size_t j) { body(idx[j]); });
+  parallel_for_shared_indexed(
+      sched.pool(), lease.granted(), 0, idx.size(),
+      [&](std::size_t chunk, std::size_t j) { body(chunk, idx[j]); });
 }
 
-nn::Model* FlEngine::client_scratch(std::size_t i) {
-  // Replicas are grown on the main thread (run_epoch) before any fan-out, so
-  // indexing here is safe from worker threads.
+void FlEngine::ensure_replicas(std::size_t slots) {
+  while (replicas_.size() < slots)
+    replicas_.push_back(model_.shared_replica());
+  epoch_max_slots_ = std::max(epoch_max_slots_, slots);
+}
+
+nn::Model* FlEngine::client_scratch(std::size_t slot) {
   if (!can_parallel_) return &model_;
-  FEDL_CHECK_LT(i, replicas_.size());
-  return &replicas_[i];
+  FEDL_CHECK_LT(slot, replicas_.size());
+  return &replicas_[slot];
 }
 
 void FlEngine::set_global_params(nn::ParamVec w) {
@@ -146,6 +164,7 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
   // out entirely (pure serial path, no scheduler interaction).
   can_parallel_ =
       cfg_.num_threads != 1 && Scheduler::instance().thread_budget() > 1;
+  epoch_max_slots_ = 0;  // replica-pool high-water mark for this epoch
 
   if (s > 0) {
     FEDL_CHECK_GT(iterations, 0u);
@@ -169,11 +188,6 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     out.client_eta.assign(s, 0.0);
     out.client_loss_reduction.assign(s, 0.0);
     out.client_completed_iters.assign(s, 0);
-
-    // Grow the scratch-model pool before any fan-out so worker threads only
-    // ever index it (one independent replica per selected client).
-    if (can_parallel_)
-      while (replicas_.size() < s) replicas_.push_back(model_.clone());
 
     payload_bits_.assign(s, 0.0);  // last iteration's uplink size
 
@@ -206,6 +220,14 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     agg_.resize(p);
 
     for (std::size_t it = 0; it < iterations; ++it) {
+      // Load w into the engine's model once per iteration: shared-weight
+      // replicas borrow this storage (so every client reads w without its
+      // own copy), and the serial path's phase-1 evaluations run against it
+      // directly. Nothing writes model_'s parameters until the next
+      // iteration (replicas copy-on-write; serial phase 2 shifts them but
+      // this reload restores w).
+      model_.set_params_flat(w_);
+
       // Clients still alive this iteration (weights renormalized).
       alive_idx_.clear();
       double alive_weight = 0.0;
@@ -222,10 +244,15 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
       // server reduces ḡ = Σ ϑ_k ∇F_k(w) in client order.
       {
         FEDL_PROFILE_SCOPE("fl.grad_phase");
-        run_clients(alive_idx_, [&](std::size_t i) {
+        run_clients(alive_idx_, [&](std::size_t slot, std::size_t i) {
           FEDL_PROFILE_SCOPE("fl.client_grad");
-          LocalOracle oracle(client_scratch(i), &batches_[i]);
-          oracle.loss_grad(w_, &grads_[i]);
+          nn::Model* m = client_scratch(slot);
+          // Replicas re-borrow the global weights (a previous client on
+          // this slot may have detached them); params now hold w exactly,
+          // so the evaluation skips the per-client O(|w|) copy.
+          if (m != &model_) m->attach_params(model_);
+          LocalOracle oracle(m, &batches_[i]);
+          oracle.loss_grad_preloaded(&grads_[i]);
         });
       }
       std::fill(gbar_.begin(), gbar_.end(), 0.0f);
@@ -237,10 +264,19 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
       // concurrent calls safe. gbar_ is read-only during the fan-out.
       {
         FEDL_PROFILE_SCOPE("fl.dane_phase");
-        run_clients(alive_idx_, [&](std::size_t i) {
+        run_clients(alive_idx_, [&](std::size_t slot, std::size_t i) {
           FEDL_PROFILE_SCOPE("fl.client_dane");
-          LocalOracle oracle(client_scratch(i), &batches_[i]);
-          updates_[i] = dane_local_step(oracle, w_, gbar_, cfg_.dane);
+          nn::Model* m = client_scratch(slot);
+          const bool shared = m != &model_;
+          if (shared) m->attach_params(model_);
+          LocalOracle oracle(m, &batches_[i]);
+          // Shared replicas start at w (borrowed), so the initial F_k(w)
+          // evaluation is preloaded; the shifted-point evaluations inside
+          // detach the replica's params into private step buffers
+          // (copy-on-write) and never touch model_. The serial path keeps
+          // the classic set-params-first behavior — bit-identical.
+          updates_[i] =
+              dane_local_step(oracle, w_, gbar_, cfg_.dane, shared);
           compressed_[i] = compressor_->apply(updates_[i].d, selected[i]);
         });
       }
@@ -292,6 +328,16 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     }
     out.latency_s = max_latency;
   }
+
+  // Shrink the replica pool back to this epoch's realized fan-out width: a
+  // wide epoch must not pin worst-case replica buffers forever. The gauges
+  // report what the pool actually pins (params only when copy-on-write
+  // detached them, plus gradients and activation caches).
+  if (replicas_.size() > epoch_max_slots_) replicas_.resize(epoch_max_slots_);
+  std::size_t replica_bytes = 0;
+  for (const auto& r : replicas_) replica_bytes += r.owned_bytes();
+  replica_bytes_gauge().set(static_cast<double>(replica_bytes));
+  replica_count_gauge().set(static_cast<double>(replicas_.size()));
 
   // Evaluation at the end-of-epoch model. Selected-membership is answered
   // by a per-client-id mask built once per epoch, keeping this epilogue

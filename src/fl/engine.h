@@ -56,8 +56,9 @@ struct EngineConfig {
   // phase (nominal share budget/jobs, stealing idle slots); K > 1 requests
   // at most K-1 extra workers per fan-out (still bounded by the budget).
   // Any value produces bit-identical EpochOutcomes: per-client work is
-  // independent (thread-local model replicas, per-client compressor state)
-  // and the aggregation reduces in client order on the calling thread.
+  // independent (per-slot shared-weight model replicas, per-client
+  // compressor state) and the aggregation reduces in client order on the
+  // calling thread.
   std::size_t num_threads = 1;
   std::uint64_t seed = 17;
 };
@@ -111,17 +112,26 @@ class FlEngine {
   // Gathers client k's per-epoch minibatch into `out` (reused storage).
   void gather_client_batch(std::size_t client, nn::Batch* out);
 
-  // Runs body(i) for every index in `idx` — fanned out across worker slots
-  // leased from the process-wide Scheduler when the config allows it,
-  // inline otherwise. Bodies must only touch per-index state; the call
-  // blocks until every index is done.
-  void run_clients(const std::vector<std::size_t>& idx,
-                   const std::function<void(std::size_t)>& body);
+  // Runs body(slot, i) for every index in `idx` — fanned out across worker
+  // slots leased from the process-wide Scheduler when the config allows it,
+  // inline otherwise. `slot` identifies the chunk (0 = calling thread) and
+  // indexes the replica pool; at most one live body per slot at a time.
+  // Bodies must only touch per-index and per-slot state; the call blocks
+  // until every index is done.
+  void run_clients(
+      const std::vector<std::size_t>& idx,
+      const std::function<void(std::size_t, std::size_t)>& body);
 
-  // Thread-local scratch model for the i-th selected client: a lazily grown
-  // clone pool when training in parallel, the shared scratch model when
-  // serial. Replicas persist across epochs so cloning is paid once.
-  nn::Model* client_scratch(std::size_t i);
+  // Grows the shared-weight replica pool to at least `slots` entries and
+  // records the epoch's high-water mark (run_epoch trims back to it).
+  void ensure_replicas(std::size_t slots);
+
+  // Scratch model for fan-out slot `slot`: a shared-weight replica when
+  // training in parallel, the engine's own model when serial. Replicas are
+  // interchangeable across clients — every use re-attaches the global
+  // weights and overwrites gradients/caches — so the pool is keyed by
+  // fan-out slot (≤ thread budget), not by selected client.
+  nn::Model* client_scratch(std::size_t slot);
 
   const data::Dataset* train_;
   const data::Dataset* test_;
@@ -133,7 +143,13 @@ class FlEngine {
   nn::Batch test_batch_;  // cached eval subset
   compress::CompressorPtr compressor_;
   bool can_parallel_ = false;  // fan-out possible this epoch (set per epoch)
-  std::vector<nn::Model> replicas_;   // per-client scratch models (parallel)
+  // Per-slot scratch models (parallel mode): parameters borrow model_'s
+  // storage (shared-weight, copy-on-write under DANE's shifted-point
+  // evaluations), gradients/caches are private. Sized to the epoch's
+  // realized fan-out width and trimmed back each epoch, so replica memory
+  // is O(slots × (|activations| + |grads|)) + O(|w|), not O(selected × |w|).
+  std::vector<nn::Model> replicas_;
+  std::size_t epoch_max_slots_ = 0;  // fan-out high-water mark this epoch
 
   // Grow-only hot-path buffers, reused across epochs and iterations so the
   // steady-state inner loop performs no heap allocation (the per-epoch

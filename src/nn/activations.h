@@ -11,6 +11,7 @@ class Relu : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   LayerPtr clone() const override { return std::make_unique<Relu>(*this); }
   std::string name() const override { return "relu"; }
+  std::size_t scratch_bytes() const override { return mask_.owned_bytes(); }
 
  private:
   Tensor mask_;  // 1 where input > 0

@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "common/rng.h"
-#include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
 #include "tensor/gemm.h"
 
 namespace fedl::nn {
@@ -59,7 +59,7 @@ Tensor Conv2d::forward(Tensor input, bool train) {
   // and its backward cannot clobber the cache.
   Workspace& colws = train ? cols_ : scratch_cols_;
   float* cols = colws.ensure(colr * ncols);
-  parallel_for(0, n, [&](std::size_t s) {
+  leased_parallel_for(0, n, [&](std::size_t s) {
     im2col(geom_, input.data() + s * image_elems, cols + s * colc, ncols);
   });
 
@@ -72,7 +72,7 @@ Tensor Conv2d::forward(Tensor input, bool train) {
   // Scatter channel-major rows back to NCHW: out[s, c, :] = oc[c, s-slice].
   Tensor out(Shape{n, out_channels_, oh, ow});
   float* dst = out.data();
-  parallel_for(0, n, [&](std::size_t s) {
+  leased_parallel_for(0, n, [&](std::size_t s) {
     for (std::size_t c = 0; c < out_channels_; ++c)
       std::memcpy(dst + (s * out_channels_ + c) * colc,
                   oc + c * ncols + s * colc, colc * sizeof(float));
@@ -97,7 +97,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   // Gather grad_output into the channel-major layout matching cols.
   float* dout = dout_.ensure(out_channels_ * ncols);
   const float* gsrc = grad_output.data();
-  parallel_for(0, n, [&](std::size_t s) {
+  leased_parallel_for(0, n, [&](std::size_t s) {
     for (std::size_t c = 0; c < out_channels_; ++c)
       std::memcpy(dout + c * ncols + s * colc,
                   gsrc + (s * out_channels_ + c) * colc,
@@ -114,7 +114,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
          grad_weight_.data());
   } else {
     float* partials = dw_partials_.ensure(num_blocks * wsize);
-    parallel_for(0, num_blocks, [&](std::size_t b) {
+    leased_parallel_for(0, num_blocks, [&](std::size_t b) {
       const std::size_t s0 = b * kDwBlockSamples;
       const std::size_t s1 = std::min(n, s0 + kDwBlockSamples);
       const std::size_t kblk = (s1 - s0) * colc;
@@ -144,7 +144,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
        0.0f, dcols);
   Tensor grad_input(Shape{n, geom_.in_channels, geom_.in_h, geom_.in_w});
   float* gi = grad_input.data();
-  parallel_for(0, n, [&](std::size_t s) {
+  leased_parallel_for(0, n, [&](std::size_t s) {
     col2im(geom_, dcols + s * colc, gi + s * image_elems, ncols);
   });
   return grad_input;

@@ -40,6 +40,11 @@ class Conv2d : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
   LayerPtr clone() const override { return std::make_unique<Conv2d>(*this); }
   std::string name() const override { return "conv2d"; }
+  std::size_t scratch_bytes() const override {
+    return (cols_.capacity() + scratch_cols_.capacity() + out_cols_.capacity() +
+            dout_.capacity() + dcols_.capacity() + dw_partials_.capacity()) *
+           sizeof(float);
+  }
 
   std::size_t out_channels() const { return out_channels_; }
   std::size_t out_h() const { return geom_.out_h(); }

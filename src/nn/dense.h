@@ -19,6 +19,9 @@ class Dense : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
   LayerPtr clone() const override { return std::make_unique<Dense>(*this); }
   std::string name() const override { return "dense"; }
+  std::size_t scratch_bytes() const override {
+    return cached_input_.owned_bytes();
+  }
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }

@@ -40,6 +40,11 @@ class Layer {
   // preserved; the clone must behave identically on the next forward pass.
   virtual std::unique_ptr<Layer> clone() const = 0;
 
+  // Bytes of per-replica scratch this layer pins beyond its parameter and
+  // gradient tensors: activation caches, im2col workspaces. Feeds
+  // Model::owned_bytes() and the engine's fl.replica_bytes gauge.
+  virtual std::size_t scratch_bytes() const { return 0; }
+
   virtual std::string name() const = 0;
 
   void zero_grad() {

@@ -44,9 +44,28 @@ class Model {
   std::size_t num_layers() const { return layers_.size(); }
 
   // Deep copy: independent parameter/gradient buffers with identical values.
-  // The FL engine clones one replica per concurrently-training client so
-  // LocalOracle scratch state is never shared between threads.
   Model clone() const;
+
+  // Shared-weight replica: gradients and activation caches are private (as
+  // in clone()), but every parameter tensor *borrows* this model's storage
+  // instead of owning a copy — replica memory is O(|activations| + |grads|),
+  // not O(|w|). The FL engine keeps one such replica per fan-out slot so
+  // LocalOracle scratch state is never shared between threads while the
+  // weights exist once. A replica that writes its parameters
+  // (set_params_flat — the DANE shifted-point evaluations) detaches them
+  // into private copy-on-write step buffers; attach_params() re-borrows.
+  Model shared_replica() const;
+
+  // Re-point every parameter tensor at `base`'s storage (O(num_layers), no
+  // copies; any copy-on-write step buffers drop back to spare capacity).
+  // `base` must have the identical architecture and must outlive the uses
+  // of this model's parameters.
+  void attach_params(const Model& base);
+
+  // Bytes of backing storage this model pins itself: parameter/gradient
+  // tensor capacity (borrowed params pin only their retained spare
+  // capacity, not the base storage) plus per-layer scratch_bytes().
+  std::size_t owned_bytes() const;
 
   // Forward pass to logits.
   Tensor forward(const Tensor& x, bool train);

@@ -15,6 +15,9 @@ class MaxPool2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   LayerPtr clone() const override { return std::make_unique<MaxPool2d>(*this); }
   std::string name() const override { return "maxpool2d"; }
+  std::size_t scratch_bytes() const override {
+    return argmax_.capacity() * sizeof(std::size_t);
+  }
 
  private:
   std::size_t window_;

@@ -77,6 +77,39 @@ void parallel_for_shared(ThreadPool& pool, std::size_t extra,
   for (auto& f : futs) f.get();
 }
 
+// Like parallel_for_shared, but the body also receives the chunk index
+// (0 = the calling thread's chunk, 1..extra = pool chunks), so callers can
+// hand each chunk a dedicated scratch slot (packed GEMM panels, model
+// replicas) without any sharing between concurrently-running chunks. The
+// chunk index never affects the values computed — only which scratch slot
+// does the work.
+template <typename Body>
+void parallel_for_shared_indexed(ThreadPool& pool, std::size_t extra,
+                                 std::size_t begin, std::size_t end,
+                                 const Body& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, extra + 1);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(std::size_t{0}, i);
+    return;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futs.push_back(pool.submit([c, lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(c, i);
+    }));
+  }
+  for (std::size_t i = begin; i < std::min(end, begin + per); ++i)
+    body(std::size_t{0}, i);
+  for (auto& f : futs) f.get();
+}
+
 // Parallel reduction: each chunk folds into a thread-local accumulator of
 // type T (initialized with `identity`), then the partials are combined in
 // deterministic chunk order with `combine` — reductions over doubles give

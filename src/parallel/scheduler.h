@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 
+#include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
 namespace fedl {
@@ -146,5 +147,30 @@ class Scheduler {
   std::uint64_t stolen_slots_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // budget-1 workers; null when budget<=1
 };
+
+// Budget-respecting fan-out in one call: try-acquire up to end-begin-1
+// extra workers from the scheduler (auto-share nominal, stealing enabled),
+// run body(i) over [begin, end) caller-participating, release the lease.
+// Runs inline when the range is trivial or the budget is saturated — so the
+// compute layers (conv2d im2col/col2im/scatter loops, the GEMM macro loop)
+// can fan out unconditionally and still compose with trial runners and
+// per-client leases without ever oversubscribing. Values never depend on
+// the grant (bodies touch disjoint per-index state by contract).
+template <typename Body>
+void leased_parallel_for(std::size_t begin, std::size_t end,
+                         const Body& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  Scheduler& sched = Scheduler::instance();
+  if (n > 1 && sched.thread_budget() > 1) {
+    Scheduler::WorkerLease lease = sched.acquire_workers(
+        sched.auto_share() - 1, n - 1, /*allow_steal=*/true);
+    if (lease.granted() > 0) {
+      parallel_for_shared(sched.pool(), lease.granted(), begin, end, body);
+      return;
+    }
+  }
+  for (std::size_t i = begin; i < end; ++i) body(i);
+}
 
 }  // namespace fedl

@@ -23,23 +23,42 @@ bool cpu_supports_avx2_fma() {
 #endif
 }
 
-GemmKernel resolve_gemm_kernel(const char* env_value, bool avx2_supported) {
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+GemmKernel resolve_gemm_kernel(const char* env_value, bool avx512_supported,
+                               bool avx2_supported) {
+  // The degrade chain is a total order: a request for tier T resolves to the
+  // widest supported tier ≤ T, so pinned env vars are portable across hosts.
+  const GemmKernel best = avx512_supported ? GemmKernel::kAvx512
+                          : avx2_supported ? GemmKernel::kAvx2Fma
+                                           : GemmKernel::kPortable;
   if (env_value != nullptr) {
     if (std::strcmp(env_value, "portable") == 0) return GemmKernel::kPortable;
     if (std::strcmp(env_value, "avx2") == 0)
       return avx2_supported ? GemmKernel::kAvx2Fma : GemmKernel::kPortable;
+    if (std::strcmp(env_value, "avx512") == 0) {
+      if (avx512_supported) return GemmKernel::kAvx512;
+      return avx2_supported ? GemmKernel::kAvx2Fma : GemmKernel::kPortable;
+    }
     if (std::strcmp(env_value, "auto") != 0 && env_value[0] != '\0')
       FEDL_WARN << "unknown FEDL_GEMM_KERNEL value '" << env_value
                 << "', using auto";
   }
-  return avx2_supported ? GemmKernel::kAvx2Fma : GemmKernel::kPortable;
+  return best;
 }
 
 GemmKernel active_gemm_kernel() {
   int cur = g_kernel.load(std::memory_order_relaxed);
   if (cur < 0) {
-    const GemmKernel resolved = resolve_gemm_kernel(
-        std::getenv("FEDL_GEMM_KERNEL"), cpu_supports_avx2_fma());
+    const GemmKernel resolved =
+        resolve_gemm_kernel(std::getenv("FEDL_GEMM_KERNEL"),
+                            cpu_supports_avx512(), cpu_supports_avx2_fma());
     // Several threads may race the first resolution; they all compute the
     // same value, so a plain store is fine.
     g_kernel.store(static_cast<int>(resolved), std::memory_order_relaxed);
@@ -52,6 +71,8 @@ GemmKernel active_gemm_kernel() {
 void force_gemm_kernel(GemmKernel kernel) {
   FEDL_CHECK(kernel != GemmKernel::kAvx2Fma || cpu_supports_avx2_fma())
       << "cannot force the AVX2+FMA kernel: CPU lacks avx2/fma";
+  FEDL_CHECK(kernel != GemmKernel::kAvx512 || cpu_supports_avx512())
+      << "cannot force the AVX-512 kernel: CPU lacks avx512f";
   g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
 }
 
@@ -61,6 +82,8 @@ const char* gemm_kernel_name(GemmKernel kernel) {
       return "portable";
     case GemmKernel::kAvx2Fma:
       return "avx2";
+    case GemmKernel::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }

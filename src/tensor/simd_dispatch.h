@@ -1,22 +1,24 @@
 // Runtime CPU dispatch for the GEMM micro-kernel.
 //
-// The kernel implementation is chosen once, at first use: the AVX2+FMA path
-// on x86 CPUs that support both, the portable unrolled path everywhere else.
-// The choice can be overridden (for testing and for apples-to-apples
-// benchmarking) with the environment variable
+// The kernel implementation is chosen once, at first use: the widest SIMD
+// tier the CPU supports on x86 (AVX-512F, then AVX2+FMA), the portable
+// unrolled path everywhere else. The choice can be overridden (for testing
+// and for apples-to-apples benchmarking) with the environment variable
 //
-//   FEDL_GEMM_KERNEL = auto | avx2 | portable
+//   FEDL_GEMM_KERNEL = auto | avx512 | avx2 | portable
 //
-// "avx2" silently degrades to portable when the CPU lacks AVX2 or FMA, so a
-// pinned env var stays safe across machines. Tests can also force a kernel
-// in-process via force_gemm_kernel().
+// Requesting a tier the CPU lacks silently degrades down the chain
+// avx512 → avx2 → portable, so a pinned env var stays safe across machines.
+// Tests can also force a kernel in-process via force_gemm_kernel().
 //
 // Determinism contract: for a fixed kernel choice, gemm() is bit-for-bit
-// reproducible call to call (it is single-threaded and uses a fixed blocking
-// schedule that depends only on the problem shape). Across kernel choices
-// results differ in the last bits (FMA vs separate mul+add rounding); parity
-// is therefore defined against gemm_naive with relative-error bounds, not
-// bit-identity. See DESIGN.md §"Compute kernel layer".
+// reproducible call to call at ANY thread count (the macro loop only splits
+// the m dimension across workers; each 6-row strip's k-accumulation order is
+// fixed by the blocking schedule, which depends only on the problem shape).
+// Across kernel choices results differ in the last bits (FMA vs separate
+// mul+add rounding); parity is therefore defined against gemm_naive with
+// relative-error bounds, not bit-identity. See DESIGN.md §"Compute kernel
+// layer".
 #pragma once
 
 namespace fedl {
@@ -24,25 +26,32 @@ namespace fedl {
 enum class GemmKernel {
   kPortable,  // unrolled scalar micro-kernel, auto-vectorizable
   kAvx2Fma,   // 6x16 AVX2+FMA micro-kernel (x86 only)
+  kAvx512,    // 6x32 AVX-512F micro-kernel (x86 only)
 };
 
 // True when the CPU can run the AVX2+FMA kernel.
 bool cpu_supports_avx2_fma();
 
+// True when the CPU can run the AVX-512 kernel (requires AVX-512F).
+bool cpu_supports_avx512();
+
 // Pure resolution policy: maps an env-var value (nullptr when unset) and CPU
-// capability to a kernel. Split out so the policy is unit-testable without
-// mutating the process environment. Unknown values resolve like "auto".
-GemmKernel resolve_gemm_kernel(const char* env_value, bool avx2_supported);
+// capabilities to a kernel. Split out so the policy is unit-testable without
+// mutating the process environment. Unknown values resolve like "auto";
+// unsupported requests degrade avx512 → avx2 → portable.
+GemmKernel resolve_gemm_kernel(const char* env_value, bool avx512_supported,
+                               bool avx2_supported);
 
 // The kernel gemm() will use. Resolved once from FEDL_GEMM_KERNEL + CPUID on
 // first call, then cached (unless overridden by force_gemm_kernel).
 GemmKernel active_gemm_kernel();
 
-// Testing hook: pin the kernel for subsequent gemm() calls. Forcing
-// kAvx2Fma on a CPU without AVX2+FMA is a checked error.
+// Testing hook: pin the kernel for subsequent gemm() calls. Forcing a SIMD
+// tier the CPU lacks is a checked error.
 void force_gemm_kernel(GemmKernel kernel);
 
-// Human-readable kernel name ("avx2" / "portable") for logs and benches.
+// Human-readable kernel name ("avx512" / "avx2" / "portable") for logs and
+// benches.
 const char* gemm_kernel_name(GemmKernel kernel);
 
 }  // namespace fedl

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/rng.h"
@@ -56,11 +57,35 @@ Tensor Tensor::uniform(Shape shape, float lo, float hi, Rng& rng) {
   return t;
 }
 
+void Tensor::borrow(const Tensor& base) {
+  FEDL_CHECK(&base != this) << "cannot borrow from self";
+  // Chases through a borrowed base: data() already resolves to the real
+  // storage, so borrow chains never exceed depth 1.
+  shape_ = base.shape_;
+  view_ = base.data();
+  view_n_ = base.numel();
+  // A borrow is weightless: release any owned storage (this is what makes a
+  // shared-weight replica O(activations + grads) instead of O(|w|)). A later
+  // detach_storage() re-allocates; that one allocation per attach/detach
+  // cycle is noise next to the forward/backward work that motivates it.
+  std::vector<float>().swap(data_);
+}
+
+void Tensor::detach_storage() {
+  if (view_ == nullptr) return;
+  const float* src = view_;
+  const std::size_t n = view_n_;
+  data_.resize(n);
+  std::memcpy(data_.data(), src, n * sizeof(float));
+  view_ = nullptr;
+  view_n_ = 0;
+}
+
 float& Tensor::at(std::size_t r, std::size_t c) {
   FEDL_CHECK_EQ(shape_.rank(), 2u);
   FEDL_CHECK_LT(r, shape_[0]);
   FEDL_CHECK_LT(c, shape_[1]);
-  return data_[r * shape_[1] + c];
+  return data()[r * shape_[1] + c];
 }
 
 float Tensor::at(std::size_t r, std::size_t c) const {
@@ -73,7 +98,7 @@ float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
   FEDL_CHECK_LT(c, shape_[1]);
   FEDL_CHECK_LT(h, shape_[2]);
   FEDL_CHECK_LT(w, shape_[3]);
-  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  return data()[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
@@ -82,18 +107,21 @@ float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
 }
 
 void Tensor::fill(float v) {
+  FEDL_CHECK(view_ == nullptr) << "cannot fill a borrowed tensor";
   for (auto& x : data_) x = v;
 }
 
 void Tensor::reshape(Shape new_shape) {
-  FEDL_CHECK_EQ(new_shape.numel(), data_.size())
+  FEDL_CHECK_EQ(new_shape.numel(), numel())
       << "reshape " << shape_.str() << " -> " << new_shape.str();
   shape_ = new_shape;
 }
 
 double Tensor::squared_norm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  const float* p = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
   return s;
 }
 

@@ -22,6 +22,7 @@
 #include "data/synthetic.h"
 #include "fl/engine.h"
 #include "nn/factory.h"
+#include "obs/metrics.h"
 #include "parallel/scheduler.h"
 
 namespace fedl::fl {
@@ -176,6 +177,53 @@ TEST(EngineParallel, CompletedIterationBookkeeping) {
     }
   }
   EXPECT_EQ(dropped, out.num_dropped);
+}
+
+TEST(EngineParallel, SharedWeightReplicasCutMemoryAtScale) {
+  // The replica pool is keyed by fan-out slot (<= thread budget), and
+  // replicas borrow the global model's parameter storage, so peak replica
+  // memory at 256 selected clients must be far below what the old design
+  // held: one full model clone per selected client. The fl.replica_bytes
+  // gauge (set from Model::owned_bytes over the trimmed pool) must come in
+  // at least 5x under that baseline.
+  EngineConfig ec;
+  ec.dane.sgd_steps = 1;
+  ec.num_threads = 0;  // draw the fan-out from the scheduler budget (8)
+  const std::size_t clients = 256;
+  const std::uint64_t seed = 241;
+  World w(clients, seed, ec);
+  const auto& ctx = w.env->advance_epoch();
+  std::vector<std::size_t> sel;
+  for (const auto& o : ctx.available) sel.push_back(o.id);
+  ASSERT_EQ(sel.size(), clients);
+  w.engine->run_epoch(sel, 1);
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const double replica_bytes = snap.gauges.at("fl.replica_bytes");
+  const double replica_count = snap.gauges.at("fl.replicas");
+  ASSERT_GT(replica_bytes, 0.0) << "parallel epoch must have used replicas";
+  EXPECT_GE(replica_count, 1.0);
+  EXPECT_LE(replica_count, 8.0) << "pool must be slot-keyed, not per client";
+
+  // Baseline: the model the engine trains (same spec/seed as World), with
+  // caches populated by one batch_cap-sized forward/backward — what each of
+  // the 256 per-client clones held at peak before weight sharing.
+  Rng mrng(seed + 4);
+  nn::ModelSpec ms;
+  ms.width_scale = 0.05;
+  nn::Model proto = nn::make_fmnist_cnn(ms, mrng);
+  Rng brng(7);
+  nn::Batch batch;
+  batch.x = Tensor::uniform(Shape{16, 1, 28, 28}, -1.0f, 1.0f, brng);
+  batch.y.resize(16);
+  for (auto& y : batch.y)
+    y = static_cast<std::uint8_t>(brng.uniform_int(0, 9));
+  proto.forward_backward(batch);
+  const double old_peak = static_cast<double>(proto.owned_bytes()) *
+                          static_cast<double>(clients);
+  EXPECT_LE(replica_bytes * 5.0, old_peak)
+      << "replica pool holds " << replica_bytes << " bytes vs "
+      << old_peak << " for per-client clones";
 }
 
 TEST(EngineParallel, AccumulatedLossReductionGrowsWithIterations) {

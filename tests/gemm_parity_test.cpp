@@ -11,23 +11,27 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "parallel/scheduler.h"
 #include "tensor/gemm.h"
 #include "tensor/simd_dispatch.h"
 
 namespace fedl {
 namespace {
 
-// Kernels runnable on this host: the portable path always, the AVX2 path
-// when the CPU has avx2+fma. Exercising kPortable on an AVX2 machine also
-// pins exactly the code path the env override FEDL_GEMM_KERNEL=portable
-// selects (resolve_gemm_kernel maps the env var to these same enum values;
-// the mapping itself is tested below).
+// Kernels runnable on this host: the portable path always, the SIMD tiers
+// when the CPU has them. Exercising kPortable on a SIMD machine also pins
+// exactly the code path the env override FEDL_GEMM_KERNEL=portable selects
+// (resolve_gemm_kernel maps the env var to these same enum values; the
+// mapping itself is tested below).
 std::vector<GemmKernel> runnable_kernels() {
   std::vector<GemmKernel> ks = {GemmKernel::kPortable};
   if (cpu_supports_avx2_fma()) ks.push_back(GemmKernel::kAvx2Fma);
+  if (cpu_supports_avx512()) ks.push_back(GemmKernel::kAvx512);
   return ks;
 }
 
@@ -36,7 +40,8 @@ std::vector<GemmKernel> runnable_kernels() {
 class GemmParity : public ::testing::Test {
  protected:
   ~GemmParity() override {
-    force_gemm_kernel(resolve_gemm_kernel(nullptr, cpu_supports_avx2_fma()));
+    force_gemm_kernel(resolve_gemm_kernel(nullptr, cpu_supports_avx512(),
+                                          cpu_supports_avx2_fma()));
   }
 };
 
@@ -94,23 +99,64 @@ TEST_F(GemmParity, AllTransposesAlphaBetaGridBlockEdges) {
 }
 
 TEST_F(GemmParity, KernelsAgreeWithinTolerance) {
-  // The portable and AVX2 kernels share packing and accumulation order but
-  // differ in FMA rounding; their outputs must agree to float accumulation
-  // error even though they need not be bit-identical.
-  if (!cpu_supports_avx2_fma()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  // The SIMD and portable kernels share packing and accumulation order but
+  // differ in FMA rounding (and tile width on AVX-512); their outputs must
+  // agree to float accumulation error even though they need not be
+  // bit-identical.
+  if (runnable_kernels().size() < 2)
+    GTEST_SKIP() << "no SIMD kernel on this host";
   const std::size_t m = 65, n = 130, k = 257;
   Rng rng(42);
-  std::vector<float> a(m * k), b(k * n), c_avx(m * n), c_port(m * n);
+  std::vector<float> a(m * k), b(k * n), c_simd(m * n), c_port(m * n);
   for (auto& v : a) v = static_cast<float>(rng.normal());
   for (auto& v : b) v = static_cast<float>(rng.normal());
 
-  force_gemm_kernel(GemmKernel::kAvx2Fma);
-  gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_avx.data());
   force_gemm_kernel(GemmKernel::kPortable);
   gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_port.data());
+  for (GemmKernel kernel : runnable_kernels()) {
+    if (kernel == GemmKernel::kPortable) continue;
+    force_gemm_kernel(kernel);
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_simd.data());
+    for (std::size_t i = 0; i < c_simd.size(); ++i)
+      ASSERT_NEAR(c_simd[i], c_port[i], 1e-4f * (std::abs(c_port[i]) + 1.0f))
+          << gemm_kernel_name(kernel);
+  }
+}
 
-  for (std::size_t i = 0; i < c_avx.size(); ++i)
-    ASSERT_NEAR(c_avx[i], c_port[i], 1e-4f * (std::abs(c_port[i]) + 1.0f));
+TEST_F(GemmParity, ThreadCountAxisBitIdenticalPerKernel) {
+  // The threaded macro loop must be bit-identical at any thread count: a
+  // grant only changes which worker runs a 6-row strip, never the strip's
+  // fixed k-accumulation order. Checked per kernel tier at scheduler
+  // budgets 1 / 2 / 4+hardware — memcmp equality, not tolerance. The size
+  // clears the internal flop threshold so budgets > 1 genuinely fan out.
+  const std::size_t m = 256, n = 192, k = 160;
+  Rng rng(1234);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  std::vector<std::size_t> budgets = {1, 2, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 4) budgets.push_back(hw);
+  for (GemmKernel kernel : runnable_kernels()) {
+    force_gemm_kernel(kernel);
+    std::vector<float> c_serial(m * n), c_budget(m * n);
+    Scheduler::instance().configure(1, 1);
+    gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+         c_serial.data());
+    for (std::size_t budget : budgets) {
+      Scheduler::instance().configure(budget, 1);
+      std::fill(c_budget.begin(), c_budget.end(), -1.0f);
+      gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+           c_budget.data());
+      ASSERT_EQ(std::memcmp(c_serial.data(), c_budget.data(),
+                            c_serial.size() * sizeof(float)),
+                0)
+          << gemm_kernel_name(kernel) << " budget=" << budget;
+    }
+  }
+  Scheduler::instance().configure(0, 1);
 }
 
 TEST_F(GemmParity, FusedBiasMatchesUnfusedReference) {
@@ -180,25 +226,54 @@ TEST_F(GemmParity, StridedViewsMatchPackedOperands) {
 }
 
 TEST(GemmDispatch, EnvOverrideResolution) {
-  // The pure policy behind FEDL_GEMM_KERNEL: portable always honored, avx2
-  // honored only when the CPU can run it, auto/unset/unknown pick the best
-  // available. This pins the fallback path for machines without AVX2.
-  EXPECT_EQ(resolve_gemm_kernel("portable", true), GemmKernel::kPortable);
-  EXPECT_EQ(resolve_gemm_kernel("portable", false), GemmKernel::kPortable);
-  EXPECT_EQ(resolve_gemm_kernel("avx2", true), GemmKernel::kAvx2Fma);
-  EXPECT_EQ(resolve_gemm_kernel("avx2", false), GemmKernel::kPortable);
-  EXPECT_EQ(resolve_gemm_kernel("auto", true), GemmKernel::kAvx2Fma);
-  EXPECT_EQ(resolve_gemm_kernel("auto", false), GemmKernel::kPortable);
-  EXPECT_EQ(resolve_gemm_kernel(nullptr, true), GemmKernel::kAvx2Fma);
-  EXPECT_EQ(resolve_gemm_kernel(nullptr, false), GemmKernel::kPortable);
-  EXPECT_EQ(resolve_gemm_kernel("bogus", true), GemmKernel::kAvx2Fma);
-  EXPECT_EQ(resolve_gemm_kernel("bogus", false), GemmKernel::kPortable);
+  // The pure policy behind FEDL_GEMM_KERNEL: portable always honored, SIMD
+  // tiers honored only when the CPU can run them, auto/unset/unknown pick
+  // the best available. Arguments are (env, avx512_supported,
+  // avx2_supported). This pins the fallback path for machines without the
+  // requested tier.
+  EXPECT_EQ(resolve_gemm_kernel("portable", true, true),
+            GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("portable", false, false),
+            GemmKernel::kPortable);
+  EXPECT_EQ(resolve_gemm_kernel("avx2", false, true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("avx2", false, false), GemmKernel::kPortable);
+  // avx2 never upgrades to avx512 even when the CPU could run it: a pinned
+  // env var means "benchmark exactly this tier".
+  EXPECT_EQ(resolve_gemm_kernel("avx2", true, true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("avx512", true, true), GemmKernel::kAvx512);
+  for (const char* env : {"auto", "bogus", static_cast<const char*>(nullptr)}) {
+    EXPECT_EQ(resolve_gemm_kernel(env, true, true), GemmKernel::kAvx512);
+    EXPECT_EQ(resolve_gemm_kernel(env, false, true), GemmKernel::kAvx2Fma);
+    EXPECT_EQ(resolve_gemm_kernel(env, false, false), GemmKernel::kPortable);
+  }
+}
+
+TEST(GemmDispatch, Avx512DegradeChain) {
+  // Requesting avx512 on hosts that lack it walks down the chain
+  // avx512 → avx2 → portable, so one pinned env var is safe fleet-wide.
+  EXPECT_EQ(resolve_gemm_kernel("avx512", false, true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel("avx512", false, false),
+            GemmKernel::kPortable);
+  // auto on an avx512-less host likewise degrades one tier at a time.
+  EXPECT_EQ(resolve_gemm_kernel(nullptr, false, true), GemmKernel::kAvx2Fma);
+  EXPECT_EQ(resolve_gemm_kernel(nullptr, false, false),
+            GemmKernel::kPortable);
+  // The hypothetical avx512-without-avx2 CPU still gets the requested tier.
+  EXPECT_EQ(resolve_gemm_kernel("avx512", true, false), GemmKernel::kAvx512);
 }
 
 TEST(GemmDispatch, ForcingUnsupportedKernelThrows) {
-  if (cpu_supports_avx2_fma())
-    GTEST_SKIP() << "host supports AVX2+FMA; cannot exercise the guard";
-  EXPECT_THROW(force_gemm_kernel(GemmKernel::kAvx2Fma), CheckError);
+  bool exercised = false;
+  if (!cpu_supports_avx2_fma()) {
+    EXPECT_THROW(force_gemm_kernel(GemmKernel::kAvx2Fma), CheckError);
+    exercised = true;
+  }
+  if (!cpu_supports_avx512()) {
+    EXPECT_THROW(force_gemm_kernel(GemmKernel::kAvx512), CheckError);
+    exercised = true;
+  }
+  if (!exercised)
+    GTEST_SKIP() << "host supports every SIMD tier; cannot exercise the guard";
 }
 
 }  // namespace

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "parallel/scheduler.h"
 #include "tensor/gemm.h"
 #include "tensor/simd_dispatch.h"
 
@@ -57,6 +59,46 @@ TEST(KernelPerf, BlockedGemmBeatsNaiveAt256) {
       << "blocked gemm (" << gemm_kernel_name(active_gemm_kernel())
       << " kernel, " << fast << "s) is not at least 2x faster than "
       << "gemm_naive (" << naive << "s) at n=" << n;
+}
+
+TEST(KernelPerf, ThreadedGemmSpeedupAt512) {
+  // The macro-loop threading must actually pay: on a machine with >= 4
+  // hardware threads, the 512x512 gemm with the whole budget must beat the
+  // single-slot run by at least 1.5x wall clock. The floor is far below the
+  // expected near-linear strip-loop scaling so the smoke stays robust on
+  // noisy shared machines; bench/micro_kernels carries the real numbers.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw < 4)
+    GTEST_SKIP() << "only " << hw
+                 << " hardware threads; threaded speedup not measurable";
+
+  const std::size_t n = 512;
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  Scheduler& sched = Scheduler::instance();
+  sched.configure(1, 1);
+  gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  const double serial = best_seconds_of(3, [&] {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  });
+
+  sched.configure(hw, 1);
+  gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  const double threaded = best_seconds_of(5, [&] {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  });
+  sched.configure(0, 1);
+
+  RecordProperty("serial_seconds", std::to_string(serial));
+  RecordProperty("threaded_seconds", std::to_string(threaded));
+  RecordProperty("hardware_threads", std::to_string(hw));
+  EXPECT_LT(threaded * 1.5, serial)
+      << "threaded gemm (" << threaded << "s at budget " << hw
+      << ") is not at least 1.5x faster than the single-slot run (" << serial
+      << "s) at n=" << n;
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "common/error.h"
 #include "harness/experiment.h"
 #include "parallel/scheduler.h"
+#include "tensor/gemm.h"
 
 namespace fedl {
 namespace {
@@ -65,6 +66,45 @@ TEST(Scheduler, LeaseAccountingAndStealing) {
   // Leases are RAII: everything returned.
   EXPECT_EQ(s.stats().leased_slots, 0u);
   EXPECT_LE(s.stats().peak_inflight, s.thread_budget());
+}
+
+TEST(Scheduler, NestedLeasesComposeWithThreadedGemm) {
+  // Three nesting levels drawing from one budget: J trial runners, a
+  // per-trial client fan-out lease, and — inside each fan-out body — a
+  // threshold-crossing gemm whose macro loop takes its own lease. The sum
+  // of runners and leases must never exceed the budget (the gemm simply
+  // runs serial when the budget is saturated), and every lease must be
+  // returned afterwards.
+  Scheduler& s = Scheduler::instance();
+  s.configure(8, 2);
+  s.reset_stats();
+  // 2·m·n·k ≈ 15.7 MFLOP clears the gemm-internal threading threshold.
+  const std::size_t m = 256, n = 192, k = 160;
+  std::vector<float> a(m * k, 0.5f), b(k * n, 0.25f);
+
+  s.run_trials(4, [&](std::size_t) {
+    auto lease = s.acquire_workers(s.auto_share() - 1, 3, true);
+    const std::size_t width = lease.granted() + 1;
+    std::vector<std::vector<float>> cs(width, std::vector<float>(m * n));
+    const auto body = [&](std::size_t chunk, std::size_t) {
+      gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+           cs[chunk].data());
+      const SchedulerStats st = s.stats();
+      EXPECT_LE(st.inflight(), st.thread_budget);
+    };
+    if (lease.granted() > 0)
+      parallel_for_shared_indexed(s.pool(), lease.granted(), 0, 2 * width,
+                                  body);
+    else
+      for (std::size_t i = 0; i < 2; ++i) body(0, i);
+  });
+
+  const SchedulerStats st = s.stats();
+  EXPECT_EQ(st.trials_run, 4u);
+  EXPECT_EQ(st.active_trials, 0u);
+  EXPECT_EQ(st.leased_slots, 0u);
+  EXPECT_LE(st.peak_inflight, st.thread_budget);
+  s.configure(0, 1);
 }
 
 TEST(Scheduler, BudgetNeverExceededWhenTrialsOutnumberSlots) {
