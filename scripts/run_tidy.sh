@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the project's
+# compile_commands.json without rebuilding anything.
+#
+# Usage:
+#   scripts/run_tidy.sh [options] [file.cpp ...]
+#
+# Options:
+#   --build-dir DIR   build tree holding compile_commands.json (default:
+#                     build; configure once with any cmake preset — the
+#                     top-level CMakeLists exports compile commands
+#                     unconditionally)
+#   --changed [REF]   only lint .cpp files changed vs REF (default: the
+#                     merge-base with origin/main, falling back to HEAD~1),
+#                     plus uncommitted changes — the CI changed-files mode
+#   --fix             let clang-tidy apply its fix-its
+#
+# Exit codes: 0 clean, 1 findings, 2 environment problems (no clang-tidy,
+# no compile database). CI treats 2 as a hard failure; local callers get a
+# clear message either way.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+changed_mode=0
+changed_ref=""
+fix_flag=()
+files=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --changed)
+      changed_mode=1
+      if [[ $# -gt 1 && "$2" != --* && "$2" != *.cpp ]]; then
+        changed_ref="$2"; shift
+      fi
+      shift ;;
+    --fix) fix_flag=(--fix); shift ;;
+    -h|--help) sed -n '2,22p' "$0"; exit 0 ;;
+    *) files+=("$1"); shift ;;
+  esac
+done
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  echo "run_tidy.sh: no clang-tidy on PATH (set CLANG_TIDY=... to point at" \
+       "one). Install clang-tidy to run Layer 2 of the static contract." >&2
+  exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy.sh: $build_dir/compile_commands.json not found." \
+       "Configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+  exit 2
+fi
+
+if [[ $changed_mode -eq 1 && ${#files[@]} -eq 0 ]]; then
+  if [[ -z "$changed_ref" ]]; then
+    changed_ref="$(git -C "$repo_root" merge-base origin/main HEAD \
+                   2>/dev/null || true)"
+    [[ -z "$changed_ref" ]] && changed_ref="HEAD~1"
+  fi
+  mapfile -t files < <(
+    { git -C "$repo_root" diff --name-only --diff-filter=d "$changed_ref" \
+        -- 'src/*.cpp'
+      git -C "$repo_root" diff --name-only --diff-filter=d \
+        -- 'src/*.cpp'; } | sort -u)
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_tidy.sh: no changed src/*.cpp vs $changed_ref — nothing to do."
+    exit 0
+  fi
+elif [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(cd "$repo_root" && ls src/*/*.cpp)
+fi
+
+echo "run_tidy.sh: $tidy over ${#files[@]} file(s), config .clang-tidy"
+status=0
+for f in "${files[@]}"; do
+  abs="$f"
+  [[ "$abs" != /* ]] && abs="$repo_root/$f"
+  "$tidy" -p "$build_dir" --quiet "${fix_flag[@]}" "$abs" || status=1
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy.sh: findings above — the committed tree must stay at zero." >&2
+fi
+exit $status

@@ -54,6 +54,8 @@ def check_number(where, name, v, allow_null=False):
 
 def validate_trace(path):
     num_events = 0
+    first_epoch = None
+    last_epoch = None
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -77,6 +79,16 @@ def validate_trace(path):
             for key in ("eta_max", "latency_s", "epoch_cost", "budget_total",
                         "budget_spent", "budget_remaining", "test_accuracy"):
                 check_number(where, key, event[key])
+            # Epochs must advance strictly within a run. A reset back to the
+            # very first epoch value is a trial boundary (grid traces commit
+            # several runs into one file); anything else is corruption.
+            check_number(where, "epoch", event["epoch"])
+            epoch = event["epoch"]
+            if first_epoch is None:
+                first_epoch = epoch
+            elif not (epoch > last_epoch or epoch == first_epoch):
+                fail(where, f"non-monotonic epoch: {epoch} after {last_epoch}")
+            last_epoch = epoch
             for key in ("rho", "mu0"):
                 check_number(where, key, event[key], allow_null=True)
             clients = event["clients"]

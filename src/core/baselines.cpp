@@ -144,8 +144,9 @@ Decision PowDStrategy::decide(const sim::EpochContext& ctx,
                      loss_est_[ctx.available[b].id];
             });
   const std::size_t want = std::min<std::size_t>(cfg_.base.n_select, d);
-  std::vector<std::size_t> picks(candidates.begin(),
-                                 candidates.begin() + want);
+  std::vector<std::size_t> picks(
+      candidates.begin(),
+      candidates.begin() + static_cast<std::ptrdiff_t>(want));
   enforce_cap(ctx, picks,
               per_epoch_cap(ctx, budget, cfg_.base.n_select, cfg_.base.pacing));
   return to_decision(ctx, picks, cfg_.base.iterations);

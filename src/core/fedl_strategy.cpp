@@ -132,7 +132,7 @@ Decision FedLStrategy::decide(const sim::EpochContext& ctx,
         if (now) cost += last_frac_.cost[i];
       }
     }
-    repaired_clients().add(static_cast<double>(repaired));
+    repaired_clients().add(static_cast<std::uint64_t>(repaired));
   }
   FEDL_CHECK_LE(cost, limit + 1e-9 * (1.0 + limit))
       << "post-repair selection exceeds the budget cap";

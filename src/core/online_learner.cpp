@@ -145,7 +145,7 @@ double OnlineLearner::select_candidates(const sim::EpochContext& ctx) {
 
   for (std::size_t i = 0; i < k; ++i)
     if (in_cand_[i]) cand_.push_back(i);
-  pruned_clients().add(static_cast<double>(k - cand_.size()));
+  pruned_clients().add(static_cast<std::uint64_t>(k - cand_.size()));
   return mean_cost;
 }
 

@@ -54,13 +54,14 @@ LocalUpdate dane_local_step(const LocalOracle& oracle, const nn::ParamVec& w,
     if (global_grad.empty()) {
       // Bootstrap: treat ḡ = ∇F_k(w), so linear = (σ2 − 1)·∇F_k(w).
       for (std::size_t i = 0; i < p; ++i)
-        linear[i] =
-            static_cast<float>((cfg.sigma2 - 1.0) * local_grad[i]);
+        linear[i] = static_cast<float>((cfg.sigma2 - 1.0) *
+                                       static_cast<double>(local_grad[i]));
     } else {
       FEDL_CHECK_EQ(global_grad.size(), p);
       for (std::size_t i = 0; i < p; ++i)
-        linear[i] = static_cast<float>(cfg.sigma2 * global_grad[i] -
-                                       local_grad[i]);
+        linear[i] = static_cast<float>(
+            cfg.sigma2 * static_cast<double>(global_grad[i]) -
+            static_cast<double>(local_grad[i]));
     }
   }
 
@@ -98,10 +99,12 @@ LocalUpdate dane_local_step(const LocalOracle& oracle, const nn::ParamVec& w,
   double lin_dot = 0.0;
   double d_sq = 0.0;
   for (std::size_t i = 0; i < p; ++i) {
-    const double gi = grad_f[i] + prox * d[i] + linear[i];
+    const double gi = static_cast<double>(grad_f[i]) +
+                      prox * static_cast<double>(d[i]) +
+                      static_cast<double>(linear[i]);
     g_sq += gi * gi;
-    lin_dot += static_cast<double>(linear[i]) * d[i];
-    d_sq += static_cast<double>(d[i]) * d[i];
+    lin_dot += static_cast<double>(linear[i]) * static_cast<double>(d[i]);
+    d_sq += static_cast<double>(d[i]) * static_cast<double>(d[i]);
   }
   out.grad_norm = std::sqrt(g_sq);
   out.surrogate_final = f_at_d + 0.5 * prox * d_sq + lin_dot;

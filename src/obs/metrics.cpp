@@ -32,7 +32,7 @@ MetricsRegistry& MetricsRegistry::global() {
   // Leaked on purpose: handles and thread-exit lease destructors may run
   // during static teardown, after a function-local static would be gone.
   static MetricsRegistry* registry = [] {
-    auto* r = new MetricsRegistry();
+    auto* r = new MetricsRegistry();  // fedl-lint: allow(naked-new)
     // Fixed capacity so registration never reallocates: definition vectors
     // are read without the mutex on the hot paths (ids are published to
     // other threads through synchronizing handle construction).

@@ -21,7 +21,9 @@ std::uint64_t steady_ns() {
 Profiler::Profiler() : epoch_ns_(steady_ns()) {}
 
 Profiler& Profiler::global() {
-  static Profiler* profiler = new Profiler();  // leaked, see metrics.cpp
+  // leaked, see metrics.cpp
+  // fedl-lint: allow(naked-new)
+  static Profiler* profiler = new Profiler();
   return *profiler;
 }
 

@@ -61,7 +61,7 @@ Scheduler::Scheduler() : budget_(hardware_budget()), jobs_(1) {
 Scheduler& Scheduler::instance() {
   // Intentionally leaked so leases/trials racing static teardown stay safe
   // (same policy as MetricsRegistry::global).
-  static Scheduler* s = new Scheduler();
+  static Scheduler* s = new Scheduler();  // fedl-lint: allow(naked-new)
   return *s;
 }
 

@@ -284,7 +284,7 @@ void gemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
       for (std::size_t p = 0; p < k; ++p) {
         const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
         const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
-        acc += static_cast<double>(av) * bv;
+        acc += static_cast<double>(av) * static_cast<double>(bv);
       }
       c[i * n + j] =
           alpha * static_cast<float>(acc) + beta * c[i * n + j];

@@ -26,7 +26,10 @@ void im2col(const Conv2dGeometry& g, const float* image, float* cols,
                                 ix >= 0 &&
                                 ix < static_cast<std::ptrdiff_t>(g.in_w);
             out[y * ow + x] =
-                inside ? image[(c * g.in_h + iy) * g.in_w + ix] : 0.0f;
+                inside ? image[(c * g.in_h + static_cast<std::size_t>(iy)) *
+                                   g.in_w +
+                               static_cast<std::size_t>(ix)]
+                       : 0.0f;
           }
         }
       }
@@ -54,7 +57,8 @@ void col2im(const Conv2dGeometry& g, const float* cols, float* image,
                 static_cast<std::ptrdiff_t>(x * g.stride + kw) -
                 static_cast<std::ptrdiff_t>(g.pad);
             if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
-            image[(c * g.in_h + iy) * g.in_w + ix] += in[y * ow + x];
+            image[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                  static_cast<std::size_t>(ix)] += in[y * ow + x];
           }
         }
       }

@@ -54,13 +54,13 @@ double vdot(std::span<const float> a, std::span<const float> b) {
   FEDL_CHECK_EQ(a.size(), b.size());
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i)
-    s += static_cast<double>(a[i]) * b[i];
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   return s;
 }
 
 double vnorm(std::span<const float> v) {
   double s = 0.0;
-  for (float x : v) s += static_cast<double>(x) * x;
+  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
   return std::sqrt(s);
 }
 

@@ -121,7 +121,8 @@ double Tensor::squared_norm() const {
   double s = 0.0;
   const float* p = data();
   const std::size_t n = numel();
-  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
+  for (std::size_t i = 0; i < n; ++i)
+    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
   return s;
 }
 

@@ -1,0 +1,12 @@
+// Same bad code as ambient-rng__fires.cpp, every site suppressed with the
+// escape hatch. fedl-lint must report nothing.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_seed() {
+  // fedl-lint: allow(ambient-rng)
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;  // fedl-lint: allow(ambient-rng)
+  return std::rand() + static_cast<int>(rd());  // fedl-lint: allow(ambient-rng)
+}

@@ -1,0 +1,18 @@
+// Conforming code: counter-based streams, time-like identifiers that must
+// NOT trip the rule (time_t, to_time_t, runtime(), localtime-free).
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t counter_stream(std::uint64_t seed, std::uint64_t client,
+                             std::uint64_t epoch) {
+  std::uint64_t z = seed ^ (client << 32) ^ epoch;  // keyed, reproducible
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+double runtime(double downtime) { return downtime; }  // not `time(`
+
+std::time_t stamp() {  // clocks for log prefixes are fine; seeding is not
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::system_clock::to_time_t(now);
+}

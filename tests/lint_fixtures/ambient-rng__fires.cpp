@@ -1,0 +1,11 @@
+// Known-bad: ambient RNG / wall-clock seeding. Each line below must be
+// reported by fedl-lint rule `ambient-rng`.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_seed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  return std::rand() + static_cast<int>(rd());
+}

@@ -1,0 +1,8 @@
+// Same broken header with the escape hatch (e.g. a platform-conditional
+// header that deliberately requires a prelude). Must be suppressed.
+// fedl-lint: allow(header-self-contained)
+#pragma once
+
+inline std::size_t head(const std::vector<int>& v) {
+  return v.empty() ? 0 : static_cast<std::size_t>(v.front());
+}

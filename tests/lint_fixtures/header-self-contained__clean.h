@@ -1,0 +1,9 @@
+// Conforming: includes what it uses, compiles as the first include of a TU.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+inline std::size_t head(const std::vector<int>& v) {
+  return v.empty() ? 0 : static_cast<std::size_t>(v.front());
+}

@@ -1,0 +1,8 @@
+// Known-bad header: uses std::vector and std::size_t without including
+// anything, so it only compiles after an includer happens to pull in
+// <vector>. The generated-TU compile check must report it.
+#pragma once
+
+inline std::size_t head(const std::vector<int>& v) {
+  return v.empty() ? 0 : static_cast<std::size_t>(v.front());
+}

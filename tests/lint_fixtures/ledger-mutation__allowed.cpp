@@ -1,0 +1,20 @@
+// Same violations, each suppressed with the escape hatch (a test double
+// might legitimately need a refund path). fedl-lint must report nothing.
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(double total) : total_(total) {}
+  double spent() const { return spent_; }
+  void charge(double amount);
+  void refund(double amount);  // fedl-lint: allow(ledger-mutation)
+  // fedl-lint: allow(ledger-mutation)
+  friend class LedgerPoker;
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+void sneak(const BudgetLedger& ledger) {
+  // fedl-lint: allow(ledger-mutation)
+  const_cast<BudgetLedger&>(ledger).charge(-1.0);
+}

@@ -1,0 +1,24 @@
+// Conforming: the real class shape — charge() is the only mutator, every
+// other member is const or static. The rule must stay quiet.
+#include <cstddef>
+
+struct HorizonBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(double total) : total_(total) {}
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+  bool exhausted() const { return remaining() <= 0.0; }
+  void charge(double amount);
+  static HorizonBounds horizon_bounds(double budget, std::size_t n,
+                                      double min_cost, double max_cost);
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};

@@ -1,0 +1,18 @@
+// Known-bad: three distinct ways to grow a second mutation path around
+// BudgetLedger::charge(). All must be reported by rule `ledger-mutation`.
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(double total) : total_(total) {}
+  double spent() const { return spent_; }
+  void charge(double amount);
+  void refund(double amount);  // second mutating entry point: flagged
+  friend class LedgerPoker;    // friend could write spent_: flagged
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+void sneak(const BudgetLedger& ledger) {
+  const_cast<BudgetLedger&>(ledger).charge(-1.0);  // flagged
+}

@@ -1,0 +1,12 @@
+// Off-convention name suppressed (e.g. mirroring an external dashboard's
+// legacy key during a migration). fedl-lint must report nothing.
+#include <string>
+
+struct Counter {
+  explicit Counter(const std::string& name);
+};
+
+void register_legacy_metric() {
+  // fedl-lint: allow(metric-name)
+  static const Counter legacy("LegacyEpochCount");
+}

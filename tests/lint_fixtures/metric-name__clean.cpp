@@ -1,0 +1,16 @@
+// Conforming dotted snake.case names. The rule must stay quiet.
+#include <string>
+#include <vector>
+
+struct Counter {
+  explicit Counter(const std::string& name);
+};
+struct Histogram {
+  Histogram(const std::string& name, std::vector<double> bounds);
+};
+
+void register_good_metrics() {
+  static const Counter a("fl.epochs");
+  static const Counter b("scheduler.peak_inflight");
+  static const Histogram h("solver.iters_per_call", {1.0, 2.0, 4.0});
+}

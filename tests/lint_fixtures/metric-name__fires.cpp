@@ -1,0 +1,17 @@
+// Known-bad: metric names off the `subsystem.metric_name` convention.
+// Every registration below must be reported by rule `metric-name`.
+#include <string>
+
+struct Counter {
+  explicit Counter(const std::string& name);
+};
+struct Gauge {
+  explicit Gauge(const std::string& name);
+};
+
+void register_bad_metrics() {
+  static const Counter a("EpochCount");        // no dot, CamelCase
+  static const Counter b("fl.EpochCount");     // CamelCase segment
+  static const Gauge c("fl.replica bytes");    // whitespace
+  static const Gauge d("fl.");                 // empty segment
+}

@@ -1,0 +1,11 @@
+// The one sanctioned shape: an intentionally leaked singleton that must
+// survive static teardown, justified inline. fedl-lint must report nothing.
+class Registry {
+ public:
+  static Registry& global() {
+    // Leaked on purpose: handles may fire during static teardown.
+    // fedl-lint: allow(naked-new)
+    static Registry* r = new Registry();
+    return *r;
+  }
+};

@@ -1,0 +1,12 @@
+// Conforming ownership, plus identifiers that must NOT trip the word
+// boundary (new_capacity, renew, placement-new-free code).
+#include <memory>
+#include <vector>
+
+std::vector<float> renew(std::size_t new_capacity) {
+  std::vector<float> v;
+  v.reserve(new_capacity);
+  auto owned = std::make_unique<float[]>(new_capacity);
+  (void)owned;
+  return v;
+}

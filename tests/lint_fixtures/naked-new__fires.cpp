@@ -1,0 +1,15 @@
+// Known-bad: raw allocations. Every line below must be reported by rule
+// `naked-new`.
+#include <cstdlib>
+
+struct Buffer {
+  float* data;
+};
+
+Buffer make_buffer(int n) {
+  Buffer b;
+  b.data = static_cast<float*>(malloc(sizeof(float) * n));
+  free(b.data);
+  b.data = new float[16];
+  return b;
+}

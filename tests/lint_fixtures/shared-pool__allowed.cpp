@@ -1,0 +1,13 @@
+// Same call, suppressed (e.g. a one-off diagnostic harness that owns the
+// whole process). fedl-lint must report nothing.
+namespace fedl::parallel {
+class ThreadPool {
+ public:
+  static ThreadPool& shared();
+};
+}  // namespace fedl::parallel
+
+void conv_batch_loop() {
+  auto& pool = fedl::parallel::ThreadPool::shared();  // fedl-lint: allow(shared-pool)
+  (void)pool;
+}

@@ -1,0 +1,14 @@
+// Known-bad: direct use of the process-wide pool outside src/parallel
+// (exactly the violation PR 6 found in Conv2d). Must be reported by rule
+// `shared-pool`.
+namespace fedl::parallel {
+class ThreadPool {
+ public:
+  static ThreadPool& shared();
+};
+}  // namespace fedl::parallel
+
+void conv_batch_loop() {
+  auto& pool = fedl::parallel::ThreadPool::shared();
+  (void)pool;
+}

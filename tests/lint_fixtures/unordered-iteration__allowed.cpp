@@ -1,0 +1,15 @@
+// Same hash-order loops, suppressed: e.g. a debug-only dump where byte
+// order genuinely does not matter. fedl-lint must report nothing.
+#include <ostream>
+#include <unordered_map>
+
+double sum_losses(const std::unordered_map<int, double>& loss_by_client,
+                  std::ostream& os) {
+  double total = 0.0;
+  // fedl-lint: allow(unordered-iteration)
+  for (const auto& [id, loss] : loss_by_client) {
+    total += loss;
+    os << id;
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// Conforming: order-insensitive use (collect keys, sort, then reduce in
+// deterministic order). The collection loop has no accumulation/emission
+// sink, so the rule must stay quiet.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+double sum_losses(const std::unordered_map<int, double>& loss_by_client) {
+  std::vector<int> ids;
+  ids.reserve(loss_by_client.size());
+  for (const auto& [id, loss] : loss_by_client) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  double total = 0.0;
+  for (int id : ids) total += loss_by_client.at(id);
+  return total;
+}

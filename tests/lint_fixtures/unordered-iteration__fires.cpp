@@ -1,0 +1,19 @@
+// Known-bad: hash-order iteration feeding a float accumulation and a trace
+// write. Both loops must be reported by rule `unordered-iteration`.
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+double sum_losses(const std::unordered_map<int, double>& loss_by_client) {
+  double total = 0.0;
+  for (const auto& [id, loss] : loss_by_client) {
+    total += loss;  // float addition is not associative: order leaks in
+  }
+  return total;
+}
+
+void emit_ids(const std::unordered_set<int>& selected, std::ostream& os) {
+  for (int id : selected) {
+    os << id << '\n';  // trace bytes now depend on hash seed
+  }
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Negative tests for scripts/validate_trace.py (ctest label: lint).
+
+The validator is the last line of defense for the decision-trace schema: the
+plotting and regret-analysis toolchain trusts whatever it accepts. This test
+builds a minimal *valid* JSONL trace (and asserts the validator accepts it,
+so a drifting schema cannot silently vacuous-pass the corruption cases),
+then corrupts it one way at a time and asserts the validator exits nonzero
+naming the violation:
+
+  * a missing budget-ledger field (budget_spent dropped)
+  * a non-monotonic epoch sequence (3, 1 after epochs must advance)
+  * an unbalanced ledger (spent + remaining != total)
+"""
+
+import argparse
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def epoch_event(epoch, spent):
+    client = {
+        "id": 0, "cost": 2.0, "data_size": 64, "tau_loc": 0.1,
+        "tau_cm_est": 0.2, "x_frac": 1.0, "mu": 0.0, "eta_est": 0.5,
+        "delta_est": 0.1, "selected": True, "eta_hat": 0.5,
+        "delta_hat": 0.1, "latency_s": 0.3, "completed_iters": 3,
+        "dropped": False,
+    }
+    return {
+        "type": "epoch", "algorithm": "fedl", "epoch": epoch,
+        "num_available": 1, "num_selected": 1, "iterations": 3,
+        "rho": 0.5, "mu0": 0.1, "eta_max": 0.9, "latency_s": 0.3,
+        "epoch_cost": 2.0, "budget_total": 100.0, "budget_spent": spent,
+        "budget_remaining": 100.0 - spent, "train_loss_selected": 1.0,
+        "train_loss_all": 1.1, "test_loss": 1.2, "test_accuracy": 0.5,
+        "num_dropped": 0, "clients": [client],
+    }
+
+
+def run_validator(python, validator, events):
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", delete=False) as f:
+        for event in events:
+            f.write(json.dumps(event) + "\n")
+        path = f.name
+    proc = subprocess.run([python, validator, "--trace", path],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validator", required=True,
+                        help="path to scripts/validate_trace.py")
+    parser.add_argument("--python", default=sys.executable)
+    args = parser.parse_args()
+
+    valid = [epoch_event(1, 2.0), epoch_event(2, 4.0), epoch_event(3, 6.0)]
+    failures = []
+
+    def expect(name, events, want_rc, want_substr):
+        before = len(failures)
+        rc, out = run_validator(args.python, args.validator, events)
+        if want_rc == 0:
+            if rc != 0:
+                failures.append(f"{name}: expected acceptance, got rc={rc}: "
+                                f"{out.strip()}")
+        else:
+            if rc == 0:
+                failures.append(f"{name}: validator accepted corrupted trace")
+            elif want_substr not in out:
+                failures.append(f"{name}: exit was nonzero but the named "
+                                f"violation {want_substr!r} is missing from: "
+                                f"{out.strip()}")
+        print(f"{'ok' if len(failures) == before else 'FAIL'} {name}: rc={rc}")
+
+    # Baseline must pass, otherwise every corruption case is vacuous.
+    expect("valid_trace_accepted", valid, 0, "")
+
+    missing_ledger = copy.deepcopy(valid)
+    del missing_ledger[1]["budget_spent"]
+    expect("missing_ledger_field_rejected", missing_ledger, 1, "budget_spent")
+
+    non_monotonic = [epoch_event(1, 2.0), epoch_event(3, 4.0),
+                     epoch_event(2, 6.0)]
+    expect("non_monotonic_epoch_rejected", non_monotonic, 1,
+           "non-monotonic epoch")
+
+    unbalanced = copy.deepcopy(valid)
+    unbalanced[2]["budget_remaining"] = 90.0
+    expect("unbalanced_ledger_rejected", unbalanced, 1, "does not balance")
+
+    # Trial-boundary reset (grid traces concatenate runs): must stay legal.
+    two_trials = [epoch_event(1, 2.0), epoch_event(2, 4.0),
+                  epoch_event(1, 6.0), epoch_event(2, 8.0)]
+    expect("trial_boundary_reset_accepted", two_trials, 0, "")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    print(f"{5 - len(failures)}/5 corruption cases behaved", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
