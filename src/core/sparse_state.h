@@ -1,0 +1,172 @@
+// Pooled sparse per-client state for the selection layer.
+//
+// At the M = 10⁵–10⁶ roster scale of mobile FL deployments (FedCS's
+// many-client setting), any per-epoch structure indexed densely by client id
+// dominates both time and memory: only the availability set E_t (and the
+// historically touched clients) ever carry information. The two containers
+// here give the learner O(active) memory and O(1) expected access:
+//
+//  * IdSlotMap — open-addressed id→slot hash map (power-of-two capacity,
+//    linear probing, SplitMix64 finalizer hash). `clear()` is O(1) via
+//    generation stamps, so it doubles as a per-epoch scratch index.
+//  * ClientStatePool — the learner's persistent per-client state arena.
+//    Misses return a shared default slot (never-seen clients cost nothing);
+//    `touch()` allocates a slot on first write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fedl::core {
+
+// Open-addressed map from client id to a caller-defined slot index.
+// Insertion order assigns slots 0,1,2,… (the caller typically keys a
+// parallel arena by them). No erase; clear() bumps a generation stamp.
+class IdSlotMap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  IdSlotMap() { rehash(kInitialCapacity); }
+
+  // Slot for `id`, or npos when absent (or stale after clear()).
+  std::size_t find(std::size_t id) const {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(id) & mask;
+    while (true) {
+      const Entry& e = table_[i];
+      if (e.gen != gen_ || e.id_plus1 == 0) return npos;
+      if (e.id_plus1 == id + 1) return e.slot;
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Slot for `id`, inserting the next sequential slot index when absent.
+  // Returns the slot; sets `inserted` when the id was new this generation.
+  std::size_t insert(std::size_t id, bool* inserted = nullptr) {
+    if ((size_ + 1) * 10 >= table_.size() * 7) rehash(table_.size() * 2);
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(id) & mask;
+    while (true) {
+      Entry& e = table_[i];
+      if (e.gen != gen_ || e.id_plus1 == 0) {
+        e.id_plus1 = id + 1;
+        e.slot = size_;
+        e.gen = gen_;
+        ++size_;
+        if (inserted != nullptr) *inserted = true;
+        return e.slot;
+      }
+      if (e.id_plus1 == id + 1) {
+        if (inserted != nullptr) *inserted = false;
+        return e.slot;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // O(1): entries written under older generations read as empty.
+  void clear() {
+    ++gen_;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+  std::size_t capacity_bytes() const {
+    return table_.size() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    std::size_t id_plus1 = 0;  // 0 = never written
+    std::size_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  static std::size_t hash(std::size_t id) {
+    // SplitMix64 finalizer: full-avalanche, so sequential ids spread.
+    std::uint64_t z = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(new_capacity, Entry{});
+    const std::size_t mask = table_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.gen != gen_ || e.id_plus1 == 0) continue;
+      std::size_t i = hash(e.id_plus1 - 1) & mask;
+      while (table_[i].id_plus1 != 0 && table_[i].gen == gen_)
+        i = (i + 1) & mask;
+      table_[i] = e;
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::size_t size_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+// One pooled slot of learner state per *touched* client (paper symbols:
+// fractional memory x̃_k, local accuracy estimate η̂_k, per-iteration loss
+// reduction Δ̂_k, dual μ^k of the local-convergence constraint h^k).
+struct ClientLearnerState {
+  double xfrac = 0.0;
+  double eta = 0.0;
+  double delta = 0.0;
+  double mu = 0.0;
+};
+
+// Arena of ClientLearnerState keyed by client id. Reads of never-touched
+// clients return the configured defaults without allocating.
+class ClientStatePool {
+ public:
+  explicit ClientStatePool(ClientLearnerState defaults)
+      : defaults_(defaults) {}
+
+  const ClientLearnerState& defaults() const { return defaults_; }
+
+  // Read-only view: the client's slot, or the defaults when never touched.
+  const ClientLearnerState& get(std::size_t id) const {
+    const std::size_t slot = index_.find(id);
+    return slot == IdSlotMap::npos ? defaults_ : slots_[slot];
+  }
+
+  bool contains(std::size_t id) const {
+    return index_.find(id) != IdSlotMap::npos;
+  }
+
+  // Writable slot, allocated (default-initialized) on first touch.
+  ClientLearnerState& touch(std::size_t id) {
+    bool inserted = false;
+    const std::size_t slot = index_.insert(id, &inserted);
+    if (inserted) {
+      FEDL_CHECK_EQ(slot, slots_.size());
+      slots_.push_back(defaults_);
+    }
+    return slots_[slot];
+  }
+
+  // Number of clients that own a slot (the "active" roster).
+  std::size_t active() const { return slots_.size(); }
+
+  // Resident footprint of the pooled state (arena + index table).
+  std::size_t resident_bytes() const {
+    return slots_.capacity() * sizeof(ClientLearnerState) +
+           index_.capacity_bytes();
+  }
+
+ private:
+  ClientLearnerState defaults_;
+  IdSlotMap index_;
+  std::vector<ClientLearnerState> slots_;
+};
+
+}  // namespace fedl::core
