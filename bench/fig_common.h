@@ -69,6 +69,14 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   // Per-epoch JSONL decision telemetry (--trace-out; ObsSession truncates
   // the file at startup, each trial's events are appended in grid order).
   cfg.trace_out = flags.get_string("trace-out", "");
+  // Live health plane: --monitor streams the run through the invariant
+  // monitor (regret envelope, budget pacing, estimator drift, dropout
+  // windows); --strict-monitor promotes any firing to FEDL_CHECK; --digest
+  // chains the per-epoch determinism digests into trace and manifest.
+  cfg.monitor = flags.get_bool("monitor", false);
+  cfg.strict_monitor = flags.get_bool("strict-monitor", false);
+  if (cfg.strict_monitor) cfg.monitor = true;
+  cfg.record_digests = flags.get_bool("digest", false);
   return cfg;
 }
 

@@ -9,6 +9,11 @@
 //   --trace-out=trace.jsonl     per-epoch decision telemetry (JSONL)
 //   --metrics-out=metrics.json  counters/gauges/histograms snapshot at exit
 //   --profile-out=profile.json  Chrome-trace timeline (chrome://tracing)
+//   --series-out=series.json    per-epoch time-series ring buffers
+//   --manifest-out=manifest.json run manifest (build, kernel, seeds, digest)
+//   --prom-out=metrics.prom     live Prometheus exposition (periodic flush)
+//   --monitor / --strict-monitor online invariant monitor (anomaly records)
+//   --digest                     per-epoch determinism digest chain
 #include <iostream>
 
 #include "common/config.h"
@@ -34,6 +39,10 @@ int main(int argc, char** argv) {
   cfg.width_scale = flags.get_double("scale", 0.15);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   cfg.trace_out = session.trace_out();
+  cfg.monitor = flags.get_bool("monitor", false);
+  cfg.strict_monitor = flags.get_bool("strict-monitor", false);
+  if (cfg.strict_monitor) cfg.monitor = true;
+  cfg.record_digests = flags.get_bool("digest", false);
 
   std::cout << "FedL quickstart: " << cfg.num_clients << " clients, budget "
             << cfg.budget << ", " << (cfg.iid ? "IID" : "non-IID")

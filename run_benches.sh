@@ -29,20 +29,45 @@ if [ -x build/bench/gemm_kernel_probe ]; then
   GEMM_KERNEL=$(build/bench/gemm_kernel_probe 2>/dev/null || echo unknown)
 fi
 
-# Adds {"hardware_threads": N, "build_type": "...", "gemm_kernel": "..."} to
-# an emitted JSON file (object or google-benchmark report alike) in place.
+# Run manifest (obs/manifest.h): one tiny seeded quickstart run emits
+# manifest.json — build type, resolved GEMM kernel tier, thread budget,
+# seed, config hash and the run's final determinism digest. stamp_json
+# embeds it into every emitted BENCH_*.json so committed numbers carry
+# their full provenance, not just the three scalar stamps.
+MANIFEST_FILE=""
+if [ "$EMIT_JSON" = "1" ] && [ -x build/examples/quickstart ]; then
+  MANIFEST_FILE=$(mktemp)
+  if ! build/examples/quickstart --clients 6 --epochs 3 --samples 200 \
+       --seed 1 --digest --manifest-out="$MANIFEST_FILE" > /dev/null 2>&1; then
+    rm -f "$MANIFEST_FILE"
+    MANIFEST_FILE=""
+    echo "manifest embedding skipped: quickstart manifest run failed" >&2
+  fi
+fi
+
+# Adds {"hardware_threads": N, "build_type": "...", "gemm_kernel": "..."}
+# plus the run manifest (when available) to an emitted JSON file (object or
+# google-benchmark report alike) in place.
 stamp_json() {
   local f="$1"
   [ -f "$f" ] || return
-  python3 - "$f" "$(nproc)" "$BUILD_TYPE" "$GEMM_KERNEL" <<'PY'
+  python3 - "$f" "$(nproc)" "$BUILD_TYPE" "$GEMM_KERNEL" "$MANIFEST_FILE" <<'PY'
 import json, sys
-path, hw, bt, gk = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+path, hw, bt, gk, mf = (sys.argv[1], int(sys.argv[2]), sys.argv[3],
+                        sys.argv[4], sys.argv[5])
 with open(path) as fh:
     doc = json.load(fh)
 if isinstance(doc, dict):
     doc["hardware_threads"] = hw
     doc["build_type"] = bt
     doc["gemm_kernel"] = gk
+    if mf:
+        try:
+            with open(mf) as mh:
+                doc["manifest"] = json.load(mh)
+        except (OSError, ValueError) as e:
+            print(f"manifest embedding skipped for {path}: {e}",
+                  file=sys.stderr)
 with open(path, "w") as fh:
     json.dump(doc, fh, indent=1)
     fh.write("\n")
@@ -122,3 +147,4 @@ for b in build/bench/*; do
   fi
 done
 echo "ALL_BENCHES_DONE" >> bench_output.txt
+[ -n "$MANIFEST_FILE" ] && rm -f "$MANIFEST_FILE"

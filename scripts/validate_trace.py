@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Validate the observability artifacts the fedl binaries emit.
 
-Checks any subset of the three artifact kinds (stdlib only, no deps):
+Checks any subset of the artifact kinds (stdlib only, no deps):
 
-  --trace    trace.jsonl    per-epoch JSONL decision telemetry
-                            (harness/experiment.cpp schema)
-  --metrics  metrics.json   metrics-registry snapshot (obs/metrics.h shape)
-  --profile  profile.json   Chrome-trace / Perfetto timeline (obs/profile.h)
+  --trace     trace.jsonl    per-epoch JSONL decision telemetry plus the
+                             optional "digest" (determinism sentinel, chain
+                             continuity checked) and "anomaly" (invariant
+                             monitor) records (harness/experiment.cpp schema)
+  --metrics   metrics.json   metrics-registry snapshot (obs/metrics.h shape)
+  --profile   profile.json   Chrome-trace / Perfetto timeline (obs/profile.h)
+  --series    series.json    time-series ring export (obs/time_series.h)
+  --manifest  manifest.json  run manifest (obs/manifest.h)
+  --prom      metrics.prom   Prometheus text exposition (obs/prometheus.h)
 
 Exits 0 when every provided artifact is well formed, 1 with a message
 otherwise. Wired into ctest as `obs_artifacts` (tests/CMakeLists.txt) so a
@@ -16,6 +21,7 @@ schema drift between the C++ emitters and this validator fails the suite.
 import argparse
 import json
 import math
+import re
 import sys
 
 EPOCH_KEYS = {
@@ -31,6 +37,21 @@ CLIENT_KEYS = {
     "eta_est", "delta_est", "selected", "eta_hat", "delta_hat", "latency_s",
     "completed_iters", "dropped",
 }
+
+DIGEST_KEYS = {"type", "algorithm", "epoch", "hash", "prev", "digest"}
+
+ANOMALY_KEYS = {
+    "type", "algorithm", "epoch", "monitor", "observed", "limit", "detail",
+}
+
+MONITORS = {
+    "regret_envelope", "budget_pacing", "estimator_drift", "dropout_rate",
+}
+
+HEX64_RE = re.compile(r"^[0-9a-f]{16}$")
+
+# digest_hex(kFnvOffsetBasis): every digest chain starts here.
+FNV_OFFSET_HEX = "cbf29ce484222325"
 
 
 class ValidationError(Exception):
@@ -52,10 +73,55 @@ def check_number(where, name, v, allow_null=False):
         fail(where, f"{name} is not finite: {v!r}")
 
 
+def validate_digest_event(where, event, last_digest, last_epoch):
+    """One determinism-sentinel record; returns the new chain tip."""
+    if event.keys() != DIGEST_KEYS:
+        fail(where, f"digest key set mismatch: missing "
+                    f"{sorted(DIGEST_KEYS - event.keys())}, extra "
+                    f"{sorted(event.keys() - DIGEST_KEYS)}")
+    if event["hash"] != "fnv1a64":
+        fail(where, f"unknown digest hash {event['hash']!r}")
+    for key in ("prev", "digest"):
+        if not isinstance(event[key], str) or not HEX64_RE.match(event[key]):
+            fail(where, f"{key} is not 16 lowercase hex chars: "
+                        f"{event[key]!r}")
+    # Chain continuity: each record either starts a new run's chain at the
+    # FNV offset basis or continues from the previous record's digest
+    # (runs commit contiguously, so one tip suffices for the whole file).
+    if event["prev"] != FNV_OFFSET_HEX and event["prev"] != last_digest:
+        fail(where, f"digest chain broken: prev={event['prev']} but "
+                    f"previous digest was {last_digest}")
+    # The sentinel always folds the epoch record in, so the chain advances.
+    if event["digest"] == event["prev"]:
+        fail(where, "digest chain did not advance")
+    if last_epoch is not None and event["epoch"] != last_epoch:
+        fail(where, f"digest epoch {event['epoch']} does not match the "
+                    f"preceding epoch event {last_epoch}")
+    return event["digest"]
+
+
+def validate_anomaly_event(where, event):
+    if event.keys() != ANOMALY_KEYS:
+        fail(where, f"anomaly key set mismatch: missing "
+                    f"{sorted(ANOMALY_KEYS - event.keys())}, extra "
+                    f"{sorted(event.keys() - ANOMALY_KEYS)}")
+    if event["monitor"] not in MONITORS:
+        fail(where, f"unknown monitor {event['monitor']!r}")
+    check_number(where, "epoch", event["epoch"])
+    # Non-finite observed/limit serialize as null (JsonWriter convention).
+    for key in ("observed", "limit"):
+        check_number(where, key, event[key], allow_null=True)
+    if not isinstance(event["detail"], str) or not event["detail"]:
+        fail(where, "anomaly detail missing or empty")
+
+
 def validate_trace(path):
     num_events = 0
+    num_digests = 0
+    num_anomalies = 0
     first_epoch = None
     last_epoch = None
+    last_digest = None
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -68,8 +134,18 @@ def validate_trace(path):
                 fail(where, f"invalid JSON: {e}")
             if not isinstance(event, dict):
                 fail(where, "event is not an object")
-            if event.get("type") != "epoch":
-                fail(where, f"unknown event type {event.get('type')!r}")
+            etype = event.get("type")
+            if etype == "digest":
+                last_digest = validate_digest_event(where, event, last_digest,
+                                                    last_epoch)
+                num_digests += 1
+                continue
+            if etype == "anomaly":
+                validate_anomaly_event(where, event)
+                num_anomalies += 1
+                continue
+            if etype != "epoch":
+                fail(where, f"unknown event type {etype!r}")
             missing = EPOCH_KEYS - event.keys()
             if missing:
                 fail(where, f"missing keys: {sorted(missing)}")
@@ -135,7 +211,12 @@ def validate_trace(path):
             num_events += 1
     if num_events == 0:
         fail(path, "no epoch events")
-    return f"{num_events} epoch events"
+    extras = []
+    if num_digests:
+        extras.append(f"{num_digests} digest records")
+    if num_anomalies:
+        extras.append(f"{num_anomalies} anomalies")
+    return ", ".join([f"{num_events} epoch events"] + extras)
 
 
 def validate_metrics(path):
@@ -198,21 +279,135 @@ def validate_profile(path):
     return f"{spans} spans"
 
 
+def validate_series(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    capacity = doc.get("capacity")
+    if not isinstance(capacity, int) or capacity <= 0:
+        fail(path, f"capacity must be a positive integer: {capacity!r}")
+    series = doc.get("series")
+    if not isinstance(series, dict) or not series:
+        fail(path, "series section missing or empty")
+    samples = 0
+    for name, s in series.items():
+        where = f"{path} series {name!r}"
+        epochs = s.get("epochs")
+        values = s.get("values")
+        if not isinstance(epochs, list) or not isinstance(values, list):
+            fail(where, "epochs/values missing or not arrays")
+        if len(epochs) != len(values):
+            fail(where, f"{len(epochs)} epochs vs {len(values)} values")
+        if len(epochs) > capacity:
+            fail(where, f"{len(epochs)} samples exceed ring capacity "
+                        f"{capacity}")
+        for i, e in enumerate(epochs):
+            if not isinstance(e, int) or e < 0:
+                fail(where, f"epochs[{i}] not a non-negative integer: {e!r}")
+        for i, v in enumerate(values):
+            # NaN/Inf samples serialize as null, like the metrics snapshot.
+            check_number(where, f"values[{i}]", v, allow_null=True)
+        dropped = s.get("dropped")
+        if not isinstance(dropped, int) or dropped < 0:
+            fail(where, f"dropped not a non-negative integer: {dropped!r}")
+        samples += len(epochs)
+    return f"{len(series)} series, {samples} samples"
+
+
+def validate_manifest(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "fedl-manifest-v1":
+        fail(path, f"unknown manifest schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("clean"), bool):
+        fail(path, "clean flag missing or not a bool")
+    if not isinstance(doc.get("build_type"), str):
+        fail(path, "build_type missing")
+    if not isinstance(doc.get("profiling_compiled"), bool):
+        fail(path, "profiling_compiled missing or not a bool")
+    digest = doc.get("final_digest")
+    if not isinstance(digest, str) or not HEX64_RE.match(digest):
+        fail(path, f"final_digest is not 16 lowercase hex chars: {digest!r}")
+    runs = doc.get("runs_digested")
+    if not isinstance(runs, int) or runs < 0:
+        fail(path, f"runs_digested not a non-negative integer: {runs!r}")
+    if runs == 0 and digest != "0" * 16:
+        fail(path, f"no run digested but final_digest is {digest!r}")
+    fields = doc.get("fields")
+    if not isinstance(fields, dict):
+        fail(path, "fields missing or not an object")
+    state = "clean" if doc["clean"] else "DIRTY"
+    return f"{state}, {len(fields)} fields, {runs} runs digested"
+
+
+def validate_prom(path):
+    """Prometheus text exposition 0.0.4: TYPE comments + sample lines."""
+    declared = {}
+    samples = 0
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        fail(where, f"malformed TYPE line: {line!r}")
+                    if parts[3] not in ("counter", "gauge", "histogram"):
+                        fail(where, f"unknown metric type {parts[3]!r}")
+                    declared[parts[2]] = parts[3]
+                continue
+            m = sample_re.match(line)
+            if not m:
+                fail(where, f"malformed sample line: {line!r}")
+            name, value = m.group(1), m.group(3)
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                    base = name[:-len(suffix)]
+                    break
+            if base not in declared:
+                fail(where, f"sample {name!r} has no preceding TYPE line")
+            if not name.startswith("fedl_"):
+                fail(where, f"metric {name!r} missing fedl_ prefix")
+            if value not in ("NaN", "+Inf", "-Inf"):
+                try:
+                    float(value)
+                except ValueError:
+                    fail(where, f"unparseable sample value {value!r}")
+            samples += 1
+    if samples == 0:
+        fail(path, "no samples")
+    return f"{len(declared)} metrics, {samples} samples"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="per-epoch JSONL decision trace")
     parser.add_argument("--metrics", help="metrics snapshot JSON")
     parser.add_argument("--profile", help="Chrome-trace profile JSON")
+    parser.add_argument("--series", help="time-series ring export JSON")
+    parser.add_argument("--manifest", help="run manifest JSON")
+    parser.add_argument("--prom", help="Prometheus text exposition")
     args = parser.parse_args()
-    if not (args.trace or args.metrics or args.profile):
-        parser.error("nothing to validate; pass --trace/--metrics/--profile")
+    jobs = [
+        (args.trace, validate_trace),
+        (args.metrics, validate_metrics),
+        (args.profile, validate_profile),
+        (args.series, validate_series),
+        (args.manifest, validate_manifest),
+        (args.prom, validate_prom),
+    ]
+    if not any(path for path, _ in jobs):
+        parser.error("nothing to validate; pass --trace/--metrics/--profile/"
+                     "--series/--manifest/--prom")
     try:
-        if args.trace:
-            print(f"OK {args.trace}: {validate_trace(args.trace)}")
-        if args.metrics:
-            print(f"OK {args.metrics}: {validate_metrics(args.metrics)}")
-        if args.profile:
-            print(f"OK {args.profile}: {validate_profile(args.profile)}")
+        for path, validate in jobs:
+            if path:
+                print(f"OK {path}: {validate(path)}")
     except ValidationError as e:
         print(f"FAIL {e}", file=sys.stderr)
         return 1

@@ -1,0 +1,20 @@
+#include "common/error.h"
+
+#include <atomic>
+
+namespace fedl {
+namespace {
+
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+
+}  // namespace
+
+void set_check_failure_hook(CheckFailureHook hook) {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+}
+
+CheckFailureHook check_failure_hook() {
+  return g_check_failure_hook.load(std::memory_order_acquire);
+}
+
+}  // namespace fedl

@@ -26,6 +26,17 @@ class ConfigError : public std::runtime_error {
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Invoked (when set) just before a failed FEDL_CHECK throws, so long-lived
+// artifacts (trace, metrics, manifest) can be flushed even if the exception
+// is never caught — an uncaught throw terminates without unwinding, which
+// used to lose everything a run had recorded. The hook must be noexcept-ish
+// in spirit (it runs on the failure path); ObsSession registers one that
+// flushes partial artifacts with a "clean": false manifest marker. Passing
+// nullptr unregisters.
+using CheckFailureHook = void (*)();
+void set_check_failure_hook(CheckFailureHook hook);
+CheckFailureHook check_failure_hook();
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
@@ -33,6 +44,7 @@ namespace detail {
   std::ostringstream os;
   os << "FEDL_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
+  if (CheckFailureHook hook = check_failure_hook()) hook();
   throw CheckError(os.str());
 }
 

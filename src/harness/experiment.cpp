@@ -1,7 +1,9 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "common/error.h"
@@ -10,8 +12,12 @@
 #include "data/partition.h"
 #include "nn/factory.h"
 #include "nn/serialize.h"
+#include "obs/digest.h"
 #include "obs/event_trace.h"
+#include "obs/manifest.h"
 #include "obs/profile.h"
+#include "obs/time_series.h"
+#include "parallel/scheduler.h"
 
 namespace fedl::harness {
 namespace {
@@ -22,6 +28,28 @@ data::SyntheticSpec dataset_spec(const ScenarioConfig& cfg) {
           ? data::fmnist_like_spec(cfg.train_samples, cfg.seed)
           : data::cifar_like_spec(cfg.train_samples, cfg.seed);
   return s;
+}
+
+// FNV-1a over the scenario fields that shape the run, so the manifest can
+// tell two configurations apart without embedding the whole config. Not a
+// full serialization: flags that only steer artifact emission (trace paths,
+// monitor toggles) are deliberately excluded — they don't change the
+// decisions or the numerics.
+std::uint64_t scenario_config_hash(const ScenarioConfig& cfg) {
+  std::ostringstream os;
+  os << static_cast<int>(cfg.task) << '|' << cfg.iid << '|'
+     << cfg.num_clients << '|' << cfg.n_min << '|' << cfg.budget << '|'
+     << cfg.max_epochs << '|' << cfg.train_samples << '|'
+     << cfg.test_samples << '|' << cfg.width_scale << '|'
+     << cfg.availability << '|' << cfg.batch_cap << '|' << cfg.eval_cap
+     << '|' << cfg.theta << '|' << cfg.fixed_iterations << '|'
+     << cfg.selection_width << '|' << cfg.empty_decision_streak << '|'
+     << cfg.seed << '|' << static_cast<int>(cfg.bandwidth) << '|'
+     << cfg.compressor << '|' << cfg.faults.dropout_prob << '|'
+     << cfg.faults.timeout_multiplier << '|'
+     << static_cast<int>(cfg.aggregation);
+  const std::string s = os.str();
+  return obs::fnv1a(s.data(), s.size());
 }
 
 // Decision-time view of the FedL learner, captured BEFORE strategy.observe()
@@ -157,6 +185,61 @@ void write_epoch_event(std::string& sink,
   sink += '\n';
 }
 
+// Determinism-sentinel record: the chain digest after folding in this
+// epoch's trace record and the aggregated model parameters. `prev` lets
+// scripts/validate_trace.py check chain continuity without recomputing.
+void write_digest_event(std::string& sink, const std::string& algorithm,
+                        std::size_t epoch, std::uint64_t prev,
+                        std::uint64_t digest) {
+  std::ostringstream line;
+  {
+    obs::JsonWriter w(line);
+    w.begin_object();
+    w.key("type").value("digest");
+    w.key("algorithm").value(algorithm);
+    w.key("epoch").value(static_cast<std::uint64_t>(epoch));
+    w.key("hash").value("fnv1a64");
+    w.key("prev").value(obs::digest_hex(prev));
+    w.key("digest").value(obs::digest_hex(digest));
+    w.end_object();
+  }
+  sink += line.str();
+  sink += '\n';
+}
+
+// Structured anomaly record mirroring obs::AnomalyRecord.
+void write_anomaly_event(std::string& sink, const std::string& algorithm,
+                         const obs::AnomalyRecord& a) {
+  std::ostringstream line;
+  {
+    obs::JsonWriter w(line);
+    w.begin_object();
+    w.key("type").value("anomaly");
+    w.key("algorithm").value(algorithm);
+    w.key("epoch").value(a.epoch);
+    w.key("monitor").value(a.monitor);
+    w.key("observed").value(a.observed);
+    w.key("limit").value(a.limit);
+    w.key("detail").value(a.detail);
+    w.end_object();
+  }
+  sink += line.str();
+  sink += '\n';
+}
+
+// Trajectory series owned by the harness loop: spend-vs-pace, scheduler
+// occupancy, and decide() latency. Statics so registration happens once.
+struct HarnessSeries {
+  obs::Series budget_spent{"budget.spent"};
+  obs::Series pacing_cap{"budget.pacing_cap"};
+  obs::Series scheduler_inflight{"scheduler.inflight"};
+  obs::Series decide_latency{"harness.decide_latency_s"};
+};
+const HarnessSeries& harness_series() {
+  static const HarnessSeries s;
+  return s;
+}
+
 }  // namespace
 
 Experiment::Experiment(ScenarioConfig cfg) : cfg_(cfg) {
@@ -235,7 +318,24 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
                    0,
                    false,
                    {},
+                   {},
+                   {},
                    {}};
+
+  // Manifest identity for this run (last-wins across a grid; per-run detail
+  // lives in the trace).
+  obs::set_manifest_field("seed", static_cast<std::uint64_t>(cfg_.seed));
+  obs::set_manifest_field("algorithm", result.trace.algorithm);
+  obs::set_manifest_field("config_hash",
+                          obs::digest_hex(scenario_config_hash(cfg_)));
+
+  // The FedL view of the strategy (learner internals, pacing cap) — null
+  // for the baselines.
+  auto* fedl_strategy = dynamic_cast<core::FedLStrategy*>(&strategy);
+
+  std::optional<obs::InvariantMonitor> monitor;
+  if (cfg_.monitor) monitor.emplace(cfg_.monitor_config);
+  obs::DigestChain digest;
 
   // Structured decision telemetry, buffered per run so the whole trial
   // commits as one block (ObsSession truncated the shared file at startup;
@@ -283,9 +383,14 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     }
 
     core::Decision decision;
+    double decide_latency_s = 0.0;
     {
       FEDL_PROFILE_SCOPE("strategy.decide");
+      const auto decide_start = std::chrono::steady_clock::now();
       decision = strategy.decide(ctx, ledger);
+      decide_latency_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - decide_start)
+                             .count();
     }
     if (decision.selected.empty()) {
       ++empty_streak;
@@ -307,18 +412,89 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
         engine.run_epoch(decision.selected, decision.num_iterations);
     ledger.charge(out.cost);
     // Snapshot decision-time learner state before observe() advances it.
-    if (tracing) {
-      write_epoch_event(trace_buffer, result.trace.algorithm, ctx, decision,
+    // The epoch record is also the digest input, so it is built whenever
+    // either consumer needs it.
+    if (tracing || cfg_.record_digests) {
+      std::string epoch_line;
+      write_epoch_event(epoch_line, result.trace.algorithm, ctx, decision,
                         LearnerSnapshot::capture(strategy, ctx), out, ledger,
                         cfg_.budget);
+      if (cfg_.record_digests) {
+        const std::uint64_t prev = digest.value();
+        digest.update(epoch_line.data(), epoch_line.size());
+        const nn::ParamVec& w = engine.global_params();
+        if (!w.empty()) digest.update(w.data(), w.size() * sizeof(w[0]));
+        result.epoch_digests.push_back(digest.value());
+        if (tracing)
+          write_digest_event(epoch_line, result.trace.algorithm, ctx.epoch,
+                             prev, digest.value());
+      }
+      if (tracing) trace_buffer += epoch_line;
     }
     strategy.observe(ctx, decision, out);
 
     double rho = static_cast<double>(std::max<std::size_t>(
         1, decision.num_iterations));
-    if (auto* fedl = dynamic_cast<core::FedLStrategy*>(&strategy))
-      rho = fedl->last_fraction().rho;
+    if (fedl_strategy != nullptr) rho = fedl_strategy->last_fraction().rho;
     result.regret.record(ctx, ledger, decision, rho, out);
+
+    {
+      const HarnessSeries& series = harness_series();
+      const auto epoch = static_cast<std::uint64_t>(ctx.epoch);
+      series.budget_spent.sample(epoch, ledger.spent());
+      if (fedl_strategy != nullptr)
+        series.pacing_cap.sample(epoch, fedl_strategy->last_fraction().cap);
+      series.decide_latency.sample(epoch, decide_latency_s);
+      // stats() takes the scheduler mutex; only pay for it when recording.
+      if (obs::TimeSeriesRecorder::global().enabled())
+        series.scheduler_inflight.sample(
+            epoch,
+            static_cast<double>(Scheduler::instance().stats().inflight()));
+    }
+
+    if (monitor) {
+      obs::EpochSample sample;
+      sample.epoch = static_cast<std::uint64_t>(ctx.epoch);
+      // Theorem 2 bounds FedL's regret only — the baselines make no such
+      // promise, so their (larger) regret is not an anomaly.
+      if (fedl_strategy != nullptr) {
+        sample.regret = result.regret.regret();
+        sample.regret_bound = core::theorem2_regret_bound(
+            cfg_.theorem_constants, result.regret.v_phi(),
+            result.regret.v_h(), result.regret.v_h_step_max(),
+            static_cast<double>(result.regret.epochs()));
+      }
+      sample.epoch_cost = out.cost;
+      if (fedl_strategy != nullptr && !decision.selected.empty())
+        sample.pacing_cap = fedl_strategy->last_fraction().cap;
+      sample.budget_spent = ledger.spent();
+      sample.budget_total = cfg_.budget;
+      // Empty epochs yield no η observation: eta_max would read as a bogus
+      // 0.0 and fake an estimator collapse.
+      if (!decision.selected.empty()) sample.eta_max = out.eta_max;
+      sample.num_selected = static_cast<double>(decision.selected.size());
+      sample.num_dropped = static_cast<double>(out.num_dropped);
+      const auto fired = monitor->on_epoch(sample);
+      for (const auto& a : fired) {
+        FEDL_WARN << "monitor anomaly [" << a.monitor << "] epoch "
+                  << a.epoch << ": " << a.detail;
+        if (tracing)
+          write_anomaly_event(trace_buffer, result.trace.algorithm, a);
+        result.anomalies.push_back(a);
+      }
+      if (!fired.empty() && cfg_.strict_monitor) {
+        // Commit what we have before dying so the trace shows what tripped
+        // (the ObsSession crash hook flushes the artifacts it owns; the
+        // buffered trace is ours to write).
+        if (tracing && !cfg_.defer_trace) {
+          obs::EventTraceWriter(cfg_.trace_out, true).write_raw(trace_buffer);
+          trace_buffer.clear();
+        }
+        FEDL_CHECK(false) << "--strict-monitor: " << fired.front().monitor
+                          << " anomaly at epoch " << fired.front().epoch
+                          << " — " << fired.front().detail;
+      }
+    }
 
     cumulative_rounds += out.num_iterations;
     cumulative_time += out.latency_s;
@@ -345,6 +521,9 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
     else
       obs::EventTraceWriter(cfg_.trace_out, true).write_raw(trace_buffer);
   }
+  // Fold this run's final chain value into the process-wide digest the
+  // manifest reports (XOR-combined, so grid completion order is irrelevant).
+  if (cfg_.record_digests) obs::note_run_digest(digest.value());
   if (!cfg_.checkpoint_path.empty())
     nn::save_params(engine.global_params(), cfg_.checkpoint_path);
   FEDL_INFO << strategy.name() << ": " << result.epochs_run << " epochs, "

@@ -19,6 +19,7 @@
 #include "data/synthetic.h"
 #include "fl/engine.h"
 #include "fl/trace.h"
+#include "obs/monitor.h"
 
 namespace fedl::harness {
 
@@ -75,6 +76,26 @@ struct ScenarioConfig {
   // commits them (fig_common flushes trial buffers in roster order after a
   // scheduler grid run, so the file is byte-identical at any --jobs).
   bool defer_trace = false;
+  // Live health plane (obs/monitor.h): stream empirical dynamic regret
+  // against the Theorem 2 envelope, budget-pacing deviation, estimator
+  // drift, and dropout windows through the invariant monitor. Fired
+  // anomalies land in the decision trace (type "anomaly"), in
+  // RunResult::anomalies, and in the obs.anomaly.* counters. With
+  // strict_monitor, any firing escalates to FEDL_CHECK *after* the trace
+  // records are committed, so the artifact shows what tripped.
+  bool monitor = false;
+  bool strict_monitor = false;
+  obs::MonitorConfig monitor_config;
+  // Assumption-constant estimates feeding the regret envelope (the scale
+  // bench/abl_regret_fit uses for this scenario family).
+  core::TheoremConstants theorem_constants{/*g_f=*/10.0, /*g_h=*/5.0,
+                                          /*radius=*/4.0, /*xi=*/20.0,
+                                          /*beta=*/0.2, /*delta=*/0.5};
+  // Determinism sentinel (obs/digest.h): chain an FNV-1a digest over each
+  // epoch's trace record and the aggregated model parameters. Digests go to
+  // RunResult::epoch_digests, to "digest" trace records (when tracing), and
+  // the run's final digest folds into the process-wide manifest value.
+  bool record_digests = false;
 };
 
 struct RunResult {
@@ -90,6 +111,12 @@ struct RunResult {
   // exceed the remainder), "empty_decisions" (empty_decision_streak hit),
   // or "max_epochs".
   std::string termination_reason;
+  // Chained per-epoch determinism digests (record_digests); equal across
+  // --jobs/--threads combinations on the same seed by the engine's
+  // bit-identity guarantee.
+  std::vector<std::uint64_t> epoch_digests;
+  // Monitor firings in epoch order (cfg.monitor).
+  std::vector<obs::AnomalyRecord> anomalies;
 };
 
 class Experiment {

@@ -1,0 +1,50 @@
+#include "obs/digest.h"
+
+#include <atomic>
+
+namespace fedl::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_combined{0};
+std::atomic<std::uint64_t> g_runs{0};
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+void note_run_digest(std::uint64_t final_digest) {
+  g_combined.fetch_xor(final_digest, std::memory_order_relaxed);
+  g_runs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t combined_run_digest() {
+  return g_combined.load(std::memory_order_relaxed);
+}
+
+std::uint64_t runs_digested() {
+  return g_runs.load(std::memory_order_relaxed);
+}
+
+void reset_run_digests() {
+  g_combined.store(0, std::memory_order_relaxed);
+  g_runs.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fedl::obs

@@ -1,0 +1,58 @@
+// Determinism sentinel: per-epoch FNV-1a digests chained over the decision
+// trace and the aggregated model parameters.
+//
+// The engine guarantees bit-identical EpochOutcomes and traces at any
+// --jobs/--threads combination; a 64-bit chained digest makes that guarantee
+// a first-class *observable* — two runs are byte-identical iff their digest
+// chains match epoch by epoch, without storing (or diffing) full traces.
+// The harness updates one DigestChain per run with (a) the serialized epoch
+// trace record and (b) the raw bytes of the post-aggregation global model,
+// so divergence in either the decision path or the numerics is caught at
+// the first epoch where it appears.
+//
+// Digests are plain FNV-1a 64 (not cryptographic): the adversary here is an
+// unintended nondeterminism bug, not a forger.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fedl::obs {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// One FNV-1a round over `len` bytes starting from `h`.
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t h = kFnvOffsetBasis);
+
+// Fixed-width lower-case hex (16 chars, no 0x prefix) — the format the
+// trace records, manifest, and validate_trace.py agree on.
+std::string digest_hex(std::uint64_t digest);
+
+// A chained digest: every update folds new bytes into the running value, so
+// digest_t depends on every byte of epochs 0..t. Copyable value type.
+class DigestChain {
+ public:
+  std::uint64_t value() const { return chain_; }
+
+  std::uint64_t update(const void* data, std::size_t len) {
+    chain_ = fnv1a(data, len, chain_);
+    return chain_;
+  }
+
+ private:
+  std::uint64_t chain_ = kFnvOffsetBasis;
+};
+
+// Process-wide combination of per-run final digests, read by the manifest.
+// Runs may complete in any order under the grid scheduler, so the combine
+// is XOR (order-independent): the combined value is deterministic for a
+// deterministic set of runs regardless of --jobs.
+void note_run_digest(std::uint64_t final_digest);
+std::uint64_t combined_run_digest();  // 0 when no run recorded one yet
+std::uint64_t runs_digested();
+void reset_run_digests();  // test/bench isolation
+
+}  // namespace fedl::obs

@@ -1,0 +1,118 @@
+#include "obs/manifest.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <variant>
+
+#include "common/error.h"
+#include "obs/digest.h"
+#include "obs/json_writer.h"
+
+namespace fedl::obs {
+namespace {
+
+using FieldValue = std::variant<std::string, std::uint64_t, double>;
+
+std::mutex& fields_mutex() {
+  static auto* m = new std::mutex();  // fedl-lint: allow(naked-new)
+  return *m;
+}
+
+std::map<std::string, FieldValue>& fields() {
+  static auto* f = new std::map<std::string, FieldValue>();  // fedl-lint: allow(naked-new)
+  return *f;
+}
+
+void set_field(const std::string& key, FieldValue value) {
+  FEDL_CHECK(!key.empty()) << "manifest field key must be non-empty";
+  std::lock_guard<std::mutex> lock(fields_mutex());
+  fields().insert_or_assign(key, std::move(value));
+}
+
+}  // namespace
+
+void set_manifest_field(const std::string& key, const std::string& value) {
+  set_field(key, FieldValue(value));
+}
+void set_manifest_field(const std::string& key, const char* value) {
+  set_field(key, FieldValue(std::string(value)));
+}
+void set_manifest_field(const std::string& key, std::uint64_t value) {
+  set_field(key, FieldValue(value));
+}
+void set_manifest_field(const std::string& key, double value) {
+  set_field(key, FieldValue(value));
+}
+
+std::map<std::string, std::string> manifest_fields() {
+  std::lock_guard<std::mutex> lock(fields_mutex());
+  std::map<std::string, std::string> out;
+  for (const auto& [key, value] : fields()) {
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      out[key] = *s;
+    } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+      out[key] = std::to_string(*u);
+    } else {
+      // Shortest round-trip form ("0.25", not to_string's "0.250000"),
+      // matching what JsonWriter emits into the manifest itself.
+      std::ostringstream os;
+      os.precision(std::numeric_limits<double>::max_digits10);
+      os << std::get<double>(value);
+      out[key] = os.str();
+    }
+  }
+  return out;
+}
+
+void clear_manifest_fields() {
+  std::lock_guard<std::mutex> lock(fields_mutex());
+  fields().clear();
+}
+
+void write_manifest(std::ostream& os, bool clean) {
+  std::map<std::string, FieldValue> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(fields_mutex());
+    snapshot = fields();
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("fedl-manifest-v1");
+  w.key("clean").value(clean);
+#if defined(FEDL_BUILD_TYPE)
+  w.key("build_type").value(FEDL_BUILD_TYPE);
+#else
+  w.key("build_type").value("unknown");
+#endif
+#if defined(FEDL_PROFILING_ENABLED)
+  w.key("profiling_compiled").value(true);
+#else
+  w.key("profiling_compiled").value(false);
+#endif
+  w.key("final_digest").value(digest_hex(combined_run_digest()));
+  w.key("runs_digested").value(runs_digested());
+  w.key("fields").begin_object();
+  for (const auto& [key, value] : snapshot) {
+    w.key(key);
+    if (const auto* s = std::get_if<std::string>(&value))
+      w.value(*s);
+    else if (const auto* u = std::get_if<std::uint64_t>(&value))
+      w.value(*u);
+    else
+      w.value(std::get<double>(value));
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void write_manifest_file(const std::string& path, bool clean) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write manifest: " + path);
+  write_manifest(out, clean);
+}
+
+}  // namespace fedl::obs

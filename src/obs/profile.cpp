@@ -40,6 +40,12 @@ Profiler::ThreadLog* Profiler::local_log() {
   return log;
 }
 
+void Profiler::set_thread_name(const std::string& name) {
+  ThreadLog* log = local_log();
+  std::lock_guard<std::mutex> lock(log->mutex);
+  log->name = name;
+}
+
 void Profiler::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& log : logs_) {
@@ -64,6 +70,20 @@ void Profiler::write_chrome_trace(std::ostream& os) const {
   w.begin_object();
   w.key("displayTimeUnit").value("ms");
   w.key("traceEvents").begin_array();
+  // thread_name metadata first so viewers label lanes before any span.
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    if (log->name.empty()) continue;
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(log->tid);
+    w.key("args").begin_object();
+    w.key("name").value(log->name);
+    w.end_object();
+    w.end_object();
+  }
   for (const auto& log : logs_) {
     std::lock_guard<std::mutex> log_lock(log->mutex);
     for (const Span& s : log->spans) {

@@ -60,6 +60,7 @@ class Profiler {
   struct ThreadLog {
     std::mutex mutex;  // taken per span append and during export
     int tid = 0;
+    std::string name;  // empty = unnamed; shown via thread_name metadata
     std::vector<Span> spans;
     void record(const char* name, std::uint64_t start_ns,
                 std::uint64_t dur_ns) {
@@ -69,6 +70,13 @@ class Profiler {
   };
   ThreadLog* local_log();
   std::uint64_t now_ns() const;
+
+  // Names the calling thread's lane in the exported trace (Chrome-trace
+  // "thread_name" metadata event, ph:"M"), so Perfetto shows
+  // "pool-worker-3" instead of a bare tid. Cheap; safe to call whether or
+  // not profiling is enabled or compiled in at the call site's level —
+  // naming is registration, not recording.
+  void set_thread_name(const std::string& name);
 
  private:
   Profiler();

@@ -1,0 +1,75 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fedl::obs {
+namespace {
+
+// Prometheus floats: full round-trip precision, +Inf/-Inf/NaN spelled the
+// way the exposition format expects.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string PrometheusWriter::sanitize_name(const std::string& name) {
+  std::string out = "fedl_" + name;
+  for (auto& c : out)
+    if (c == '.') c = '_';
+  return out;
+}
+
+void PrometheusWriter::write(const MetricsSnapshot& snapshot,
+                             std::ostream& os) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = sanitize_name(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = sanitize_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = sanitize_name(name);
+    os << "# TYPE " << prom << " histogram\n";
+    // Registry buckets are disjoint ("first bound >= value"); Prometheus
+    // buckets are cumulative ("observations <= le").
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.counts[i];
+      os << prom << "_bucket{le=\"" << format_value(hist.bounds[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << hist.total << '\n';
+    os << prom << "_sum " << format_value(hist.sum) << '\n';
+    os << prom << "_count " << hist.total << '\n';
+  }
+}
+
+void PrometheusWriter::write_file(const MetricsSnapshot& snapshot,
+                                  const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw ConfigError("cannot write prometheus file: " + tmp);
+    write(snapshot, out);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw ConfigError("cannot rename " + tmp + " to " + path);
+}
+
+}  // namespace fedl::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition (format 0.0.4) of the metrics registry, so a
+// standard scraper (or `watch cat`) can tail a live run via --prom-out.
+//
+// Mapping: metric names are sanitized for Prometheus (dots become
+// underscores) and prefixed `fedl_`; counters/gauges map 1:1; registry
+// histograms become native Prometheus histograms with *cumulative* `le`
+// buckets plus `_sum`/`_count`. The writer is stateless — ObsSession owns
+// the periodic-flush thread and calls write_file(), which replaces the
+// target atomically (write to <path>.tmp, then rename) so a scraper never
+// reads a torn file.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fedl::obs {
+
+class PrometheusWriter {
+ public:
+  // `fedl_` + name with every '.' replaced by '_'.
+  static std::string sanitize_name(const std::string& name);
+
+  static void write(const MetricsSnapshot& snapshot, std::ostream& os);
+
+  // Atomic replace of `path` with the exposition of `snapshot`.
+  static void write_file(const MetricsSnapshot& snapshot,
+                         const std::string& path);
+};
+
+}  // namespace fedl::obs

@@ -1,13 +1,44 @@
 #include "obs/session.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/prometheus.h"
+#include "obs/time_series.h"
 
 namespace fedl::obs {
+namespace {
+
+// The session the crash guards flush. One live session per binary is the
+// intended pattern (declared first in main); with nested sessions the most
+// recent wins.
+std::atomic<ObsSession*> g_active_session{nullptr};
+
+void crash_flush() {
+  if (ObsSession* session = g_active_session.load(std::memory_order_acquire))
+    session->flush(/*clean=*/false);
+}
+
+void arm_atexit_guard() {
+  // atexit stacks handlers; register ours once per process. On a normal
+  // exit the destructor already cleared g_active_session, so this no-ops;
+  // it fires for std::exit() mid-run and for uncaught exceptions routed
+  // through the check-failure hook's terminate path.
+  static const bool armed = [] {
+    std::atexit(crash_flush);
+    return true;
+  }();
+  (void)armed;
+}
+
+}  // namespace
 
 ObsSession::ObsSession(const Flags& flags,
                        const std::string& default_log_level) {
@@ -20,6 +51,10 @@ ObsSession::ObsSession(const Flags& flags,
   trace_out_ = flags.get_string("trace-out", "");
   metrics_out_ = flags.get_string("metrics-out", "");
   profile_out_ = flags.get_string("profile-out", "");
+  series_out_ = flags.get_string("series-out", "");
+  manifest_out_ = flags.get_string("manifest-out", "");
+  prom_out_ = flags.get_string("prom-out", "");
+  prom_interval_s_ = flags.get_double("prom-interval", 5.0);
 
   if (!trace_out_.empty()) {
     // Runs append per-epoch events; start every invocation from a clean
@@ -31,12 +66,39 @@ ObsSession::ObsSession(const Flags& flags,
     Profiler::global().clear();
     Profiler::global().set_enabled(true);
   }
+  if (!series_out_.empty()) {
+    const int capacity = flags.get_int("series-capacity", 4096);
+    if (capacity <= 0)
+      throw ConfigError("--series-capacity must be positive");
+    TimeSeriesRecorder::global().enable(static_cast<std::size_t>(capacity));
+  }
+  if (!prom_out_.empty() && prom_interval_s_ <= 0.0)
+    throw ConfigError("--prom-interval must be positive");
+
+  g_active_session.store(this, std::memory_order_release);
+  set_check_failure_hook(&crash_flush);
+  arm_atexit_guard();
+
+  if (!prom_out_.empty()) start_prom_flusher();
 }
 
 ObsSession::~ObsSession() {
+  // Disarm the crash guards first: once teardown begins, a hook firing on a
+  // half-destroyed session would be worse than a lost flush.
+  g_active_session.store(nullptr, std::memory_order_release);
+  set_check_failure_hook(nullptr);
+  stop_prom_flusher();
+  if (!profile_out_.empty()) Profiler::global().set_enabled(false);
+  flush(/*clean=*/true);
+  if (!series_out_.empty()) TimeSeriesRecorder::global().disable();
+}
+
+void ObsSession::flush(bool clean) noexcept {
+  std::lock_guard<std::mutex> lock(flush_mutex_);
+  if (!clean) dirty_ = true;
+  const bool clean_now = clean && !dirty_;
   try {
     if (!profile_out_.empty()) {
-      Profiler::global().set_enabled(false);
       Profiler::global().write_chrome_trace_file(profile_out_);
       FEDL_INFO << "wrote " << Profiler::global().num_spans()
                 << " profile spans to " << profile_out_;
@@ -47,11 +109,56 @@ ObsSession::~ObsSession() {
       MetricsRegistry::global().snapshot().write_json(out);
       FEDL_INFO << "wrote metrics snapshot to " << metrics_out_;
     }
+    if (!series_out_.empty()) {
+      std::ofstream out(series_out_, std::ios::trunc);
+      if (!out) throw ConfigError("cannot write series: " + series_out_);
+      TimeSeriesRecorder::global().write_json(out);
+      FEDL_INFO << "wrote time series to " << series_out_;
+    }
+    if (!prom_out_.empty()) {
+      PrometheusWriter::write_file(MetricsRegistry::global().snapshot(),
+                                   prom_out_);
+      FEDL_INFO << "wrote prometheus exposition to " << prom_out_;
+    }
+    if (!manifest_out_.empty()) {
+      write_manifest_file(manifest_out_, clean_now);
+      FEDL_INFO << "wrote run manifest to " << manifest_out_
+                << (clean_now ? "" : " (clean: false)");
+    }
     if (!trace_out_.empty())
       FEDL_INFO << "decision trace at " << trace_out_;
   } catch (const std::exception& e) {
     FEDL_WARN << "failed to flush observability artifacts: " << e.what();
   }
+}
+
+void ObsSession::start_prom_flusher() {
+  prom_thread_ = std::thread([this] {
+    const auto interval = std::chrono::duration<double>(prom_interval_s_);
+    std::unique_lock<std::mutex> lock(prom_mutex_);
+    while (!prom_stop_) {
+      if (prom_cv_.wait_for(lock, interval, [this] { return prom_stop_; }))
+        break;
+      lock.unlock();
+      try {
+        PrometheusWriter::write_file(MetricsRegistry::global().snapshot(),
+                                     prom_out_);
+      } catch (const std::exception& e) {
+        FEDL_WARN << "prometheus flush failed: " << e.what();
+      }
+      lock.lock();
+    }
+  });
+}
+
+void ObsSession::stop_prom_flusher() {
+  if (!prom_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(prom_mutex_);
+    prom_stop_ = true;
+  }
+  prom_cv_.notify_all();
+  prom_thread_.join();
 }
 
 }  // namespace fedl::obs

@@ -7,7 +7,7 @@
 //   }
 //
 // replaces the hand-rolled set_log_level(parse_log_level(...)) boilerplate
-// and gives the binary three standard flags:
+// and gives the binary the standard observability flags:
 //
 //   --log=<debug|info|warn|error|off>   explicit log level (highest priority;
 //                                       else FEDL_LOG_LEVEL env var, else the
@@ -17,12 +17,28 @@
 //                          trace JSON at exit
 //   --trace-out=<file>     truncate <file> now; harness runs configured with
 //                          trace_out() append per-epoch JSONL events to it
+//   --series-out=<file>    enable the per-epoch TimeSeriesRecorder and write
+//                          its rings (JSON) at exit
+//   --series-capacity=<N>  ring capacity per series (default 4096)
+//   --manifest-out=<file>  write the run manifest (JSON) at exit
+//   --prom-out=<file>      periodically rewrite <file> with the Prometheus
+//                          text exposition of the metrics registry (atomic
+//                          replace), plus a final write at exit
+//   --prom-interval=<sec>  flush period for --prom-out (default 5)
 //
 // Artifacts are flushed in the destructor, so the session must outlive the
-// instrumented work (declare it first in main).
+// instrumented work (declare it first in main). The session also arms two
+// crash guards — a check-failure hook (common/error.h) and an atexit
+// handler — that flush whatever has been recorded *before* an uncaught
+// FEDL_CHECK terminates the process, marking the manifest "clean": false.
+// Once a crash-flush has happened the manifest stays dirty even if the
+// exception is later caught and the session destructs normally.
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/config.h"
 
@@ -39,11 +55,35 @@ class ObsSession {
   const std::string& trace_out() const { return trace_out_; }
   const std::string& metrics_out() const { return metrics_out_; }
   const std::string& profile_out() const { return profile_out_; }
+  const std::string& series_out() const { return series_out_; }
+  const std::string& manifest_out() const { return manifest_out_; }
+  const std::string& prom_out() const { return prom_out_; }
+
+  // Writes every configured artifact. clean=false marks the manifest dirty
+  // permanently (crash path); clean=true is the normal exit path. Safe to
+  // call from any thread and more than once — later flushes overwrite with
+  // fresher snapshots. Never throws (failures are logged).
+  void flush(bool clean) noexcept;
 
  private:
+  void start_prom_flusher();
+  void stop_prom_flusher();
+
   std::string trace_out_;
   std::string metrics_out_;
   std::string profile_out_;
+  std::string series_out_;
+  std::string manifest_out_;
+  std::string prom_out_;
+  double prom_interval_s_ = 5.0;
+
+  std::mutex flush_mutex_;
+  bool dirty_ = false;  // latched by the first flush(false)
+
+  std::thread prom_thread_;
+  std::mutex prom_mutex_;
+  std::condition_variable prom_cv_;
+  bool prom_stop_ = false;
 };
 
 }  // namespace fedl::obs

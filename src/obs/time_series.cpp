@@ -1,0 +1,125 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/json_writer.h"
+
+namespace fedl::obs {
+
+TimeSeriesRecorder& TimeSeriesRecorder::global() {
+  static auto* recorder = new TimeSeriesRecorder();  // fedl-lint: allow(naked-new)
+  return *recorder;
+}
+
+void TimeSeriesRecorder::enable(std::size_t capacity) {
+  FEDL_CHECK(capacity > 0) << "time-series capacity must be positive";
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  for (auto& ring : rings_) {
+    ring->epochs.assign(capacity_, 0);
+    ring->values.assign(capacity_, 0.0);
+    ring->head = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TimeSeriesRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t TimeSeriesRecorder::register_series(const std::string& name) {
+  FEDL_CHECK(!name.empty()) << "series name must be non-empty";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < rings_.size(); ++i)
+    if (rings_[i]->name == name) return i;
+  auto ring = std::make_unique<Ring>();
+  ring->name = name;
+  if (capacity_ > 0) {  // registration after enable(): warm up now
+    ring->epochs.assign(capacity_, 0);
+    ring->values.assign(capacity_, 0.0);
+  }
+  rings_.push_back(std::move(ring));
+  return rings_.size() - 1;
+}
+
+void TimeSeriesRecorder::sample(std::size_t id, std::uint64_t epoch,
+                                double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;  // disabled before the caller's enabled() check
+  FEDL_CHECK(id < rings_.size()) << "unknown series id " << id;
+  Ring& ring = *rings_[id];
+  ring.epochs[ring.head] = epoch;
+  ring.values[ring.head] = value;
+  ring.head = (ring.head + 1) % capacity_;
+  if (ring.size == capacity_)
+    ++ring.dropped;  // the slot we just overwrote held the oldest sample
+  else
+    ++ring.size;
+}
+
+std::vector<SeriesSnapshot> TimeSeriesRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    SeriesSnapshot snap;
+    snap.name = ring->name;
+    snap.dropped = ring->dropped;
+    snap.epochs.reserve(ring->size);
+    snap.values.reserve(ring->size);
+    // Oldest sample lives at head when the ring has wrapped, at 0 otherwise.
+    const std::size_t start = ring->size == capacity_ ? ring->head : 0;
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      const std::size_t slot = (start + i) % capacity_;
+      snap.epochs.push_back(ring->epochs[slot]);
+      snap.values.push_back(ring->values[slot]);
+    }
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void TimeSeriesRecorder::write_json(std::ostream& os) const {
+  std::size_t capacity;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity = capacity_;
+  }
+  const auto series = snapshot();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("capacity").value(static_cast<std::uint64_t>(capacity));
+  w.key("series").begin_object();
+  for (const auto& snap : series) {
+    w.key(snap.name).begin_object();
+    w.key("epochs").begin_array();
+    for (const auto epoch : snap.epochs) w.value(epoch);
+    w.end_array();
+    w.key("values").begin_array();
+    for (const auto value : snap.values) w.value(value);
+    w.end_array();
+    w.key("dropped").value(snap.dropped);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void TimeSeriesRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& ring : rings_) {
+    ring->head = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace fedl::obs

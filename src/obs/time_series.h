@@ -1,0 +1,107 @@
+// Fixed-capacity per-epoch time series: the trajectory view of the run.
+//
+// `MetricsRegistry` answers "what is the value now"; the recorder answers
+// "how did it get there" — fl.* losses, learner.rho/mu, scheduler occupancy,
+// budget spent-vs-paced, decide latency — each sampled once per epoch
+// boundary into a preallocated ring buffer and exported as one compact JSON
+// document via --series-out.
+//
+// Contract (mirrors the metrics layer):
+//   - disabled recorders cost one relaxed atomic load per sample site, so
+//     instrumentation compiled into run_epoch never perturbs the engine;
+//   - enable(capacity) preallocates every ring, and registration while
+//     enabled preallocates at registration time, so the steady-state sample
+//     path performs no allocations (rings wrap, oldest samples are dropped
+//     and counted);
+//   - samples are (epoch, value) pairs, not wall-clock points: a grid run
+//     interleaves trials into the shared rings, and the epoch tag is what
+//     lets offline tooling separate or overlay them.
+//
+// Usage at a sample site (same shape as obs::Counter):
+//
+//   static const obs::Series test_loss("fl.test_loss");
+//   test_loss.sample(epoch, value);
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fedl::obs {
+
+struct SeriesSnapshot {
+  std::string name;
+  std::vector<std::uint64_t> epochs;  // chronological sample order
+  std::vector<double> values;         // parallel to epochs
+  std::uint64_t dropped = 0;          // samples evicted by ring wrap
+};
+
+class TimeSeriesRecorder {
+ public:
+  // Never destroyed (like MetricsRegistry) so samples during teardown are
+  // safe.
+  static TimeSeriesRecorder& global();
+
+  // Preallocates a `capacity`-slot ring for every registered series and
+  // turns sampling on. Re-enabling with a different capacity resizes the
+  // rings and clears existing samples.
+  void enable(std::size_t capacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Idempotent by name, thread-safe; returns a stable id.
+  std::size_t register_series(const std::string& name);
+
+  void sample(std::size_t id, std::uint64_t epoch, double value);
+
+  // Chronologically-ordered copy of every ring (series sorted by name).
+  std::vector<SeriesSnapshot> snapshot() const;
+
+  // {"capacity":N,"series":{name:{"epochs":[...],"values":[...],
+  //  "dropped":D}}}  — NaN/Inf values serialize as null, matching the
+  // metrics snapshot convention.
+  void write_json(std::ostream& os) const;
+
+  // Drops samples (registrations and capacity are kept). Test isolation.
+  void clear();
+
+ private:
+  TimeSeriesRecorder() = default;
+
+  struct Ring {
+    std::string name;
+    std::vector<std::uint64_t> epochs;  // capacity slots once enabled
+    std::vector<double> values;
+    std::size_t head = 0;      // next write slot
+    std::size_t size = 0;      // valid slots
+    std::uint64_t dropped = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  // registration + rings; samples are per-epoch,
+                              // so one lock is contention-free in practice
+  std::size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+class Series {
+ public:
+  explicit Series(const std::string& name)
+      : id_(TimeSeriesRecorder::global().register_series(name)) {}
+
+  void sample(std::uint64_t epoch, double value) const {
+    auto& recorder = TimeSeriesRecorder::global();
+    if (!recorder.enabled()) return;
+    recorder.sample(id_, epoch, value);
+  }
+
+ private:
+  std::size_t id_;
+};
+
+}  // namespace fedl::obs

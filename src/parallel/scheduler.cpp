@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace fedl {
 namespace {
@@ -54,6 +56,9 @@ std::size_t hardware_budget() {
 
 Scheduler::Scheduler() : budget_(hardware_budget()), jobs_(1) {
   if (budget_ > 1) pool_ = std::make_unique<ThreadPool>(budget_ - 1);
+  obs::set_manifest_field("thread_budget",
+                          static_cast<std::uint64_t>(budget_));
+  obs::set_manifest_field("jobs", static_cast<std::uint64_t>(jobs_));
   std::lock_guard<std::mutex> lock(mutex_);
   update_gauges_locked();
 }
@@ -84,6 +89,8 @@ void Scheduler::configure(std::size_t budget, std::size_t jobs) {
     update_gauges_locked();
   }
   // Old pool (if any) joins its workers outside the lock.
+  obs::set_manifest_field("thread_budget", static_cast<std::uint64_t>(budget));
+  obs::set_manifest_field("jobs", static_cast<std::uint64_t>(jobs));
 }
 
 std::size_t Scheduler::thread_budget() const {
@@ -209,7 +216,12 @@ void Scheduler::run_trials(std::size_t n,
   } else {
     std::vector<std::thread> threads;
     threads.reserve(width);
-    for (std::size_t r = 0; r < width; ++r) threads.emplace_back(runner);
+    for (std::size_t r = 0; r < width; ++r)
+      threads.emplace_back([&runner, r] {
+        obs::Profiler::global().set_thread_name("grid-runner-" +
+                                                std::to_string(r));
+        runner();
+      });
     for (auto& t : threads) t.join();
   }
   for (std::size_t i = 0; i < n; ++i)

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace fedl {
 namespace {
@@ -39,7 +40,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   workers_gauge.set(static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::Profiler::global().set_thread_name("pool-worker-" +
+                                              std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/manifest.h"
 
 namespace fedl {
 namespace {
@@ -62,6 +63,7 @@ GemmKernel active_gemm_kernel() {
     // Several threads may race the first resolution; they all compute the
     // same value, so a plain store is fine.
     g_kernel.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    obs::set_manifest_field("gemm_kernel", gemm_kernel_name(resolved));
     FEDL_DEBUG << "gemm kernel: " << gemm_kernel_name(resolved);
     return resolved;
   }
@@ -74,6 +76,7 @@ void force_gemm_kernel(GemmKernel kernel) {
   FEDL_CHECK(kernel != GemmKernel::kAvx512 || cpu_supports_avx512())
       << "cannot force the AVX-512 kernel: CPU lacks avx512f";
   g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+  obs::set_manifest_field("gemm_kernel", gemm_kernel_name(kernel));
 }
 
 const char* gemm_kernel_name(GemmKernel kernel) {

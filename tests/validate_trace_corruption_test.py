@@ -11,6 +11,9 @@ naming the violation:
   * a missing budget-ledger field (budget_spent dropped)
   * a non-monotonic epoch sequence (3, 1 after epochs must advance)
   * an unbalanced ledger (spent + remaining != total)
+  * a broken determinism-digest chain (prev != previous digest)
+  * an anomaly record naming an unknown monitor
+  * a manifest with a wrong schema tag / an unexplained final digest
 """
 
 import argparse
@@ -40,13 +43,38 @@ def epoch_event(epoch, spent):
     }
 
 
-def run_validator(python, validator, events):
+# digest_hex(kFnvOffsetBasis): what the first digest record's prev must be.
+FNV_OFFSET_HEX = "cbf29ce484222325"
+
+
+def digest_event(epoch, prev, digest):
+    return {"type": "digest", "algorithm": "fedl", "epoch": epoch,
+            "hash": "fnv1a64", "prev": prev, "digest": digest}
+
+
+def anomaly_event(monitor):
+    return {"type": "anomaly", "algorithm": "fedl", "epoch": 2,
+            "monitor": monitor, "observed": 12.0, "limit": 10.0,
+            "detail": "epoch cost 12 exceeds paced cap 10"}
+
+
+def manifest_doc():
+    return {"schema": "fedl-manifest-v1", "clean": True,
+            "build_type": "Release", "profiling_compiled": True,
+            "final_digest": "a" * 16, "runs_digested": 2,
+            "fields": {"seed": "1", "gemm_kernel": "avx2"}}
+
+
+def run_validator(python, validator, events, flag="--trace"):
     with tempfile.NamedTemporaryFile(
             mode="w", suffix=".jsonl", delete=False) as f:
-        for event in events:
-            f.write(json.dumps(event) + "\n")
+        if flag == "--trace":
+            for event in events:
+                f.write(json.dumps(event) + "\n")
+        else:
+            json.dump(events, f)
         path = f.name
-    proc = subprocess.run([python, validator, "--trace", path],
+    proc = subprocess.run([python, validator, flag, path],
                           capture_output=True, text=True)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -61,9 +89,9 @@ def main():
     valid = [epoch_event(1, 2.0), epoch_event(2, 4.0), epoch_event(3, 6.0)]
     failures = []
 
-    def expect(name, events, want_rc, want_substr):
+    def expect(name, events, want_rc, want_substr, flag="--trace"):
         before = len(failures)
-        rc, out = run_validator(args.python, args.validator, events)
+        rc, out = run_validator(args.python, args.validator, events, flag)
         if want_rc == 0:
             if rc != 0:
                 failures.append(f"{name}: expected acceptance, got rc={rc}: "
@@ -98,9 +126,56 @@ def main():
                   epoch_event(1, 6.0), epoch_event(2, 8.0)]
     expect("trial_boundary_reset_accepted", two_trials, 0, "")
 
+    # Determinism-sentinel records: a continuous chain passes, a record
+    # whose prev does not match the previous digest is corruption.
+    chained = [epoch_event(1, 2.0),
+               digest_event(1, FNV_OFFSET_HEX, "1" * 16),
+               epoch_event(2, 4.0),
+               digest_event(2, "1" * 16, "2" * 16)]
+    expect("digest_chain_accepted", chained, 0, "")
+
+    broken = copy.deepcopy(chained)
+    broken[3]["prev"] = "f" * 16
+    expect("digest_chain_break_rejected", broken, 1, "digest chain broken")
+
+    stuck = copy.deepcopy(chained)
+    stuck[3]["digest"] = stuck[3]["prev"]
+    expect("digest_chain_stall_rejected", stuck, 1, "did not advance")
+
+    # Anomaly records: a well-formed one passes, an unknown monitor is
+    # corruption (the monitor set is the validator's schema contract).
+    with_anomaly = valid[:2] + [anomaly_event("budget_pacing")] + valid[2:]
+    expect("anomaly_record_accepted", with_anomaly, 0, "")
+    bad_monitor = valid[:2] + [anomaly_event("vibes")] + valid[2:]
+    expect("unknown_monitor_rejected", bad_monitor, 1, "unknown monitor")
+
+    # Run manifest: valid doc passes; wrong schema tag and an unexplained
+    # nonzero final digest (no run recorded one) are rejected.
+    expect("manifest_accepted", manifest_doc(), 0, "", flag="--manifest")
+    bad_schema = manifest_doc()
+    bad_schema["schema"] = "fedl-manifest-v0"
+    expect("manifest_bad_schema_rejected", bad_schema, 1, "manifest schema",
+           flag="--manifest")
+    phantom_digest = manifest_doc()
+    phantom_digest["runs_digested"] = 0
+    expect("manifest_phantom_digest_rejected", phantom_digest, 1,
+           "no run digested", flag="--manifest")
+
+    # Series export: parallel-array length mismatch is corruption.
+    series_doc = {"capacity": 8, "series": {
+        "fl.test_loss": {"epochs": [1, 2], "values": [0.5, 0.4],
+                         "dropped": 0}}}
+    expect("series_accepted", series_doc, 0, "", flag="--series")
+    ragged = copy.deepcopy(series_doc)
+    ragged["series"]["fl.test_loss"]["values"] = [0.5]
+    expect("series_ragged_rejected", ragged, 1, "epochs vs",
+           flag="--series")
+
+    total = 15
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
-    print(f"{5 - len(failures)}/5 corruption cases behaved", file=sys.stderr)
+    print(f"{total - len(failures)}/{total} corruption cases behaved",
+          file=sys.stderr)
     return 1 if failures else 0
 
 
