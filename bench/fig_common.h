@@ -77,6 +77,17 @@ inline harness::ScenarioConfig scenario_from_flags(const Flags& flags,
   cfg.strict_monitor = flags.get_bool("strict-monitor", false);
   if (cfg.strict_monitor) cfg.monitor = true;
   cfg.record_digests = flags.get_bool("digest", false);
+  // Event-driven execution (DESIGN.md §12): --async kills the epoch barrier
+  // and aggregates on FedBuff-style buffer flushes of --buffer-k updates
+  // with 1/(1+staleness)^(--staleness-exp) damping; --flush-timeout flushes
+  // a short buffer after that much virtual time (0 = K-only).
+  cfg.async.enabled = flags.get_bool("async", false);
+  cfg.async.buffer_k =
+      static_cast<std::size_t>(flags.get_int("buffer-k", 4));
+  cfg.async.staleness_exponent = flags.get_double("staleness-exp", 0.5);
+  cfg.async.flush_timeout_s = flags.get_double("flush-timeout", 0.0);
+  // UCB exploration bonus on the --width pruning score (0 = pure exploit).
+  cfg.width_explore = flags.get_double("width-explore", 0.0);
   return cfg;
 }
 

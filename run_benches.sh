@@ -3,9 +3,10 @@
 # Also emits BENCH_micro_kernels.json (google-benchmark JSON),
 # BENCH_metrics.json (the abl_parallel run's metrics-registry snapshot:
 # pool/gemm/solver/engine counters), BENCH_grid.json (figure-grid wall
-# clock, serial vs --jobs, see below) and BENCH_scale.json (fig8 selection-
-# layer scale sweep) so the perf trajectory stays machine-readable across
-# PRs.
+# clock, serial vs --jobs, see below), BENCH_scale.json (fig8 selection-
+# layer scale sweep) and BENCH_async.json (abl_async event-driven vs
+# lockstep speedup grid) so the perf trajectory stays machine-readable
+# across PRs.
 #
 # Committed BENCH_*.json files are only comparable when built the same way:
 # non-Release builds run the benches for smoke value but are REFUSED as JSON
@@ -135,6 +136,16 @@ for b in build/bench/*; do
         if [ "$EMIT_JSON" = "1" ]; then
           "$b" --json-out=BENCH_scale.json >> bench_output.txt 2>&1
           stamp_json BENCH_scale.json
+        else
+          "$b" >> bench_output.txt 2>&1
+        fi
+        ;;
+      abl_async)
+        # Event-driven vs lockstep at equal budget (DESIGN.md §12); the
+        # speedup cells are the PR's headline number, so keep them stamped.
+        if [ "$EMIT_JSON" = "1" ]; then
+          "$b" --json-out=BENCH_async.json >> bench_output.txt 2>&1
+          stamp_json BENCH_async.json
         else
           "$b" >> bench_output.txt 2>&1
         fi

@@ -5,8 +5,10 @@ Checks any subset of the artifact kinds (stdlib only, no deps):
 
   --trace     trace.jsonl    per-epoch JSONL decision telemetry plus the
                              optional "digest" (determinism sentinel, chain
-                             continuity checked) and "anomaly" (invariant
-                             monitor) records (harness/experiment.cpp schema)
+                             continuity checked), "anomaly" (invariant
+                             monitor) and "event" (virtual-clock dispatch/
+                             complete/drop/flush, --async runs) records
+                             (harness/experiment.cpp schema)
   --metrics   metrics.json   metrics-registry snapshot (obs/metrics.h shape)
   --profile   profile.json   Chrome-trace / Perfetto timeline (obs/profile.h)
   --series    series.json    time-series ring export (obs/time_series.h)
@@ -39,6 +41,25 @@ CLIENT_KEYS = {
 }
 
 DIGEST_KEYS = {"type", "algorithm", "epoch", "hash", "prev", "digest"}
+
+# Virtual-clock records of the event-driven engine (fl/event_engine.h).
+EVENT_KEYS = {
+    "type", "algorithm", "kind", "vt", "epoch", "client", "version",
+    "staleness", "buffer", "aggregated",
+}
+
+EVENT_KINDS = {"dispatch", "complete", "drop", "flush"}
+
+# Which nullable fields must be null / non-null per event kind (the writer's
+# contract in harness/experiment.cpp): staleness exists once an update
+# arrives, buffer occupancy only after dispatch, aggregated only on flushes,
+# and a flush has no single client.
+EVENT_NULL_FIELDS = {
+    "dispatch": {"staleness", "buffer", "aggregated"},
+    "complete": {"aggregated"},
+    "drop": {"staleness", "aggregated"},
+    "flush": {"client"},
+}
 
 ANOMALY_KEYS = {
     "type", "algorithm", "epoch", "monitor", "observed", "limit", "detail",
@@ -100,6 +121,63 @@ def validate_digest_event(where, event, last_digest, last_epoch):
     return event["digest"]
 
 
+def validate_async_event(where, event, state):
+    """One virtual-clock event record; mutates the per-file `state` dict
+    (last_vt, completes_since_flush). Event records never advance the
+    epoch-monotonicity state — cohorts resolve out of dispatch order, and
+    the flush record carries the *latest* dispatch epoch."""
+    if event.keys() != EVENT_KEYS:
+        fail(where, f"event key set mismatch: missing "
+                    f"{sorted(EVENT_KEYS - event.keys())}, extra "
+                    f"{sorted(event.keys() - EVENT_KEYS)}")
+    kind = event["kind"]
+    if kind not in EVENT_KINDS:
+        fail(where, f"unknown event kind {kind!r}")
+    check_number(where, "vt", event["vt"])
+    vt = event["vt"]
+    if vt < 0:
+        fail(where, f"negative virtual time {vt}")
+    nulls = EVENT_NULL_FIELDS[kind]
+    for key in ("client", "staleness", "buffer", "aggregated"):
+        if key in nulls:
+            if event[key] is not None:
+                fail(where, f"{kind} event has non-null {key}="
+                            f"{event[key]!r}")
+        else:
+            if not isinstance(event[key], int) or isinstance(event[key], bool) \
+                    or event[key] < 0:
+                fail(where, f"{kind} event {key} is not a non-negative "
+                            f"integer: {event[key]!r}")
+    for key in ("epoch", "version"):
+        if not isinstance(event[key], int) or event[key] < 0:
+            fail(where, f"{key} is not a non-negative integer: "
+                        f"{event[key]!r}")
+    # The virtual clock is monotone within a trial. A dispatch at vt 0 is
+    # how every trial's clock starts, so it is the only place the clock may
+    # jump backwards (grid traces commit several runs into one file).
+    if kind == "dispatch" and vt == 0.0:
+        state["last_vt"] = 0.0
+        state["completes_since_flush"] = 0
+    else:
+        last_vt = state.get("last_vt")
+        if last_vt is not None and vt < last_vt:
+            fail(where, f"virtual clock ran backwards: {vt} after {last_vt}")
+        state["last_vt"] = vt
+    if kind == "complete":
+        state["completes_since_flush"] = \
+            state.get("completes_since_flush", 0) + 1
+    elif kind == "flush":
+        expect = state.get("completes_since_flush", 0)
+        if event["aggregated"] != expect:
+            fail(where, f"flush aggregated={event['aggregated']} but "
+                        f"{expect} updates completed since the last flush")
+        if event["aggregated"] == 0:
+            fail(where, "flush aggregated nothing")
+        if event["buffer"] != 0:
+            fail(where, f"flush left buffer occupancy {event['buffer']}")
+        state["completes_since_flush"] = 0
+
+
 def validate_anomaly_event(where, event):
     if event.keys() != ANOMALY_KEYS:
         fail(where, f"anomaly key set mismatch: missing "
@@ -119,9 +197,11 @@ def validate_trace(path):
     num_events = 0
     num_digests = 0
     num_anomalies = 0
+    num_async = 0
     first_epoch = None
     last_epoch = None
     last_digest = None
+    async_state = {}
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -143,6 +223,10 @@ def validate_trace(path):
             if etype == "anomaly":
                 validate_anomaly_event(where, event)
                 num_anomalies += 1
+                continue
+            if etype == "event":
+                validate_async_event(where, event, async_state)
+                num_async += 1
                 continue
             if etype != "epoch":
                 fail(where, f"unknown event type {etype!r}")
@@ -216,6 +300,8 @@ def validate_trace(path):
         extras.append(f"{num_digests} digest records")
     if num_anomalies:
         extras.append(f"{num_anomalies} anomalies")
+    if num_async:
+        extras.append(f"{num_async} virtual-clock events")
     return ", ".join([f"{num_events} epoch events"] + extras)
 
 

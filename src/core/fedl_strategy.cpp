@@ -24,12 +24,25 @@ FedLStrategy::FedLStrategy(std::size_t num_clients, FedLConfig cfg)
       rng_(cfg.seed),
       participation_(num_clients) {}
 
+void FedLStrategy::record_fraction(std::size_t epoch) {
+  const std::size_t cap = std::max<std::size_t>(cfg_.fraction_history, 1);
+  if (frac_history_.size() < cap) {
+    frac_history_.emplace_back(epoch, last_frac_);
+    return;
+  }
+  frac_history_[frac_next_] = {epoch, last_frac_};
+  frac_next_ = (frac_next_ + 1) % cap;
+}
+
 Decision FedLStrategy::decide(const sim::EpochContext& ctx,
                               const BudgetLedger& budget) {
   Decision dec;
   last_frac_ = learner_.decide(ctx, budget);
   const std::size_t k = last_frac_.ids.size();
-  if (k == 0) return dec;
+  if (k == 0) {
+    record_fraction(ctx.epoch);
+    return dec;
+  }
 
   // Fairness extension (future work, §7): boost the fraction of clients
   // whose long-term participation rate trails the quota, proportionally to
@@ -48,6 +61,8 @@ Decision FedLStrategy::decide(const sim::EpochContext& ctx,
       }
     }
   }
+
+  record_fraction(ctx.epoch);
 
   // Round the fractional selections (Algorithm 2) on a copy: observe()
   // consumes the fractional x̃, so last_frac_.x must stay fractional.
@@ -151,8 +166,21 @@ void FedLStrategy::observe(const sim::EpochContext& ctx,
                            const Decision& decision,
                            const fl::EpochOutcome& outcome) {
   (void)decision;
-  if (last_frac_.ids.empty()) return;
-  learner_.observe(ctx, last_frac_, outcome);
+  // Match the outcome to the fractional decision of ITS epoch: the
+  // event-driven harness delivers feedback out of order, after newer
+  // decides have overwritten last_frac_. Fall back to last_frac_ when the
+  // epoch is not in the ring (history too small, or a caller observing
+  // synthetic outcomes) — with fraction_history == 1 the ring holds exactly
+  // the last decide, so this is the previous behavior verbatim.
+  const FractionalDecision* frac = &last_frac_;
+  for (const auto& entry : frac_history_) {
+    if (entry.first == ctx.epoch) {
+      frac = &entry.second;
+      break;
+    }
+  }
+  if (frac->ids.empty()) return;
+  learner_.observe(ctx, *frac, outcome);
 }
 
 }  // namespace fedl::core

@@ -22,6 +22,14 @@ struct FedLConfig {
   // Long-term selection fairness (the paper's future-work extension):
   // under-served clients get their fractions boosted before rounding.
   FairnessConfig fairness;
+  // Fractional decisions retained for delayed feedback. Lockstep execution
+  // observes epoch t's outcome before deciding t+1, so 1 (the default)
+  // suffices; the event-driven harness resolves cohorts out of order while
+  // newer decides overwrite last_fraction(), so it raises this to cover the
+  // deepest straggler overlap. observe() matches the outcome to the
+  // decision of the same epoch; with history 1 that lookup degenerates to
+  // the previous behavior exactly.
+  std::size_t fraction_history = 1;
   std::uint64_t seed = 23;
 };
 
@@ -46,11 +54,18 @@ class FedLStrategy : public SelectionStrategy {
   const ParticipationTracker& participation() const { return participation_; }
 
  private:
+  // Remembers last_frac_ under this epoch so a delayed observe() can find
+  // the decision its outcome belongs to.
+  void record_fraction(std::size_t epoch);
+
   FedLConfig cfg_;
   OnlineLearner learner_;
   Rng rng_;
   FractionalDecision last_frac_;
   ParticipationTracker participation_;
+  // Ring of (epoch, fractional decision) pairs, capacity fraction_history.
+  std::vector<std::pair<std::size_t, FractionalDecision>> frac_history_;
+  std::size_t frac_next_ = 0;
 
   // Grow-only per-epoch scratch. Rounding works on a copy of the fractions
   // (observe() consumes the fractional x̃) via the in-place subset API.

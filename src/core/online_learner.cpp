@@ -137,11 +137,23 @@ double OnlineLearner::select_candidates(const sim::EpochContext& ctx) {
     // "a is worse than b": lower score, or same score and higher index.
     return a.first != b.first ? a.first < b.first : a.second > b.second;
   };
+  // Exploration bonus β_w·sqrt(log t / n_k): log t is shared across the
+  // epoch; n_k is the client's observation count (never-observed clients
+  // divide by 1, giving them the full bonus). Guarded so the default
+  // β_w = 0 adds literally nothing — the exploit-only score stays
+  // bit-identical.
+  const double log_t =
+      cfg_.width_explore > 0.0
+          ? std::log(std::max(2.0, static_cast<double>(ctx.epoch)))
+          : 0.0;
   for (std::size_t i = 0; i < k && extra > 0; ++i) {
     if (in_cand_[i]) continue;
     const auto& obs = ctx.available[i];
-    const double score = pool_.get(obs.id).delta * rho_ /
-                         std::max(obs.cost, 1e-12);
+    const ClientLearnerState& st = pool_.get(obs.id);
+    double score = st.delta * rho_ / std::max(obs.cost, 1e-12);
+    if (cfg_.width_explore > 0.0)
+      score += cfg_.width_explore *
+               std::sqrt(log_t / std::max(1.0, st.seen));
     const std::pair<double, std::size_t> entry{score, i};
     if (heap_.size() < extra) {
       heap_.push_back(entry);
@@ -349,6 +361,7 @@ void OnlineLearner::observe(const sim::EpochContext& ctx,
     FEDL_CHECK_LT(id, num_clients_);
     const double iters = completed(i);
     if (iters <= 0.0) continue;  // dropped at iteration 0: nothing observed
+    pool_.touch(id).seen += 1.0;  // n_k for the width-explore bonus
     if (i < outcome.client_eta.size()) {
       ClientLearnerState& st = pool_.touch(id);
       st.eta = (1.0 - cfg_.ema) * st.eta + cfg_.ema * outcome.client_eta[i];

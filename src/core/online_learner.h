@@ -65,6 +65,14 @@ struct LearnerConfig {
   double init_loss = 2.303;     // ln(10): loss of a random 10-class model
   // Max coordinates the prox solve sees per epoch (0 = all of E_t).
   std::size_t selection_width = 0;
+  // UCB-style exploration bonus β_w for the width-pruning utility score:
+  //   score_k = Δ̂_k·ρ/c_k + β_w·sqrt(log t / n_k)
+  // where n_k counts the epochs client k actually produced an observation.
+  // A client the pruning has starved keeps n_k frozen while log t grows, so
+  // its bonus eventually beats any exploit score and it re-enters the
+  // candidate set (ROADMAP item 1). 0 (default) disables the bonus and
+  // reproduces the pure-exploit pruning bit-for-bit.
+  double width_explore = 0.0;
 };
 
 // Fractional decision for one epoch over the candidate set (all of E_t

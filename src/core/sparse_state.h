@@ -116,12 +116,17 @@ class IdSlotMap {
 
 // One pooled slot of learner state per *touched* client (paper symbols:
 // fractional memory x̃_k, local accuracy estimate η̂_k, per-iteration loss
-// reduction Δ̂_k, dual μ^k of the local-convergence constraint h^k).
+// reduction Δ̂_k, dual μ^k of the local-convergence constraint h^k, and the
+// observation count n_k feeding the width-pruning exploration bonus).
 struct ClientLearnerState {
   double xfrac = 0.0;
   double eta = 0.0;
   double delta = 0.0;
   double mu = 0.0;
+  // Epochs in which this client produced an η/Δ observation (selected and
+  // completed ≥ 1 iteration). Stored as double so the pool stays a flat
+  // arena of one type; only ever incremented by 1.
+  double seen = 0.0;
 };
 
 // Arena of ClientLearnerState keyed by client id. Reads of never-touched

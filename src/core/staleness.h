@@ -1,0 +1,54 @@
+// Staleness-aware aggregation weights for the event-driven engine.
+//
+// In buffered-asynchronous FL (FedBuff-style, PAPERS.md arXiv:2106.06639
+// lineage) a client's update d_k was computed against the global model
+// version v_dispatch; by the time it is aggregated the server is at
+// v_now ≥ v_dispatch. The staleness s = v_now − v_dispatch measures how many
+// server aggregations the update missed, and its contribution is damped
+// polynomially so stragglers still help but cannot drag the model toward a
+// stale descent direction:
+//
+//     damping(s) = 1 / (1 + s)^a ,   a ≥ 0.
+//
+// a = 0 recovers the undamped buffered mean; a = 1/2 is the common default.
+// This lives in src/core next to the selection-layer math (not in src/fl)
+// because the weights are pure functions of integers — no engine state — and
+// the ablation bench sweeps them the same way it sweeps learner constants.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fedl::core {
+
+// Damping factor 1/(1+s)^a for one update of staleness s.
+inline double staleness_damping(std::size_t staleness, double exponent) {
+  if (exponent == 0.0) return 1.0;
+  return std::pow(1.0 + static_cast<double>(staleness), -exponent);
+}
+
+// Per-update aggregation weights for one buffer flush:
+// w ← w + Σ_i weight_i · d_i  with  weight_i = damping(s_i) / |S_i|, where
+// |S_i| is the size of the cohort update i was dispatched with. Normalizing
+// by the DISPATCH cohort (not the buffer size |B|) keeps the server step
+// per completed update identical to the synchronous selected-mean rule:
+// a cohort's flushes telescope to exactly the lockstep mean when fresh
+// (every s_i = 0), no matter how the buffer boundary K slices the cohort.
+// Normalizing by |B| instead would scale the per-update step by |S|/K — an
+// overshoot that raises the noise floor as K shrinks, which is precisely
+// the regime event-driven execution wants to live in. Staleness only ever
+// shrinks a contribution, never inflates its neighbors'.
+inline std::vector<double> staleness_weights(
+    const std::vector<std::size_t>& staleness,
+    const std::vector<std::size_t>& cohort_sizes, double exponent) {
+  std::vector<double> w(staleness.size(), 0.0);
+  for (std::size_t i = 0; i < staleness.size(); ++i) {
+    const double denom =
+        static_cast<double>(cohort_sizes[i] > 0 ? cohort_sizes[i] : 1);
+    w[i] = staleness_damping(staleness[i], exponent) / denom;
+  }
+  return w;
+}
+
+}  // namespace fedl::core

@@ -165,6 +165,100 @@ nn::EvalResult FlEngine::evaluate_test() {
   return model_.evaluate(test_batch_);
 }
 
+void FlEngine::trim_replicas() {
+  // Shrink the replica pool back to this epoch's realized fan-out width: a
+  // wide epoch must not pin worst-case replica buffers forever. The gauges
+  // report what the pool actually pins (params only when copy-on-write
+  // detached them, plus gradients and activation caches).
+  if (replicas_.size() > epoch_max_slots_) replicas_.resize(epoch_max_slots_);
+  std::size_t replica_bytes = 0;
+  for (const auto& r : replicas_) replica_bytes += r.owned_bytes();
+  replica_bytes_gauge().set(static_cast<double>(replica_bytes));
+  replica_count_gauge().set(static_cast<double>(replicas_.size()));
+}
+
+CohortEval FlEngine::evaluate_cohort(const std::vector<std::size_t>& selected) {
+  // Selected-membership is answered by a per-client-id mask built once,
+  // keeping this O(|available| + |selected|).
+  CohortEval ev;
+  const sim::EpochContext& ctx = env_->context();
+  for (std::size_t k : selected) {
+    FEDL_CHECK_LT(k, selected_mask_.size());
+    selected_mask_[k] = 1;
+  }
+  selected_data_.clear();
+  all_data_.clear();
+  for (const auto& obs : ctx.available) {
+    const auto& idx = env_->client_data(obs.id);
+    all_data_.insert(all_data_.end(), idx.begin(), idx.end());
+    if (obs.id < selected_mask_.size() && selected_mask_[obs.id])
+      selected_data_.insert(selected_data_.end(), idx.begin(), idx.end());
+  }
+  for (std::size_t k : selected) selected_mask_[k] = 0;
+  ev.train_loss_selected = loss_on_indices(selected_data_);
+  ev.train_loss_all = loss_on_indices(all_data_);
+  const nn::EvalResult test = evaluate_test();
+  ev.test_loss = test.loss;
+  ev.test_accuracy = test.accuracy;
+  return ev;
+}
+
+void FlEngine::run_local_jobs(const std::vector<LocalTrainJob>& jobs,
+                              std::vector<LocalTrainResult>* results) {
+  FEDL_PROFILE_SCOPE("fl.local_jobs");
+  FEDL_CHECK(results != nullptr);
+  results->resize(jobs.size());
+  if (jobs.empty()) return;
+  const std::size_t s = jobs.size();
+  can_parallel_ =
+      cfg_.num_threads != 1 && Scheduler::instance().thread_budget() > 1;
+  epoch_max_slots_ = 0;
+
+  // Minibatches gathered serially in job order (fixed RNG consumption).
+  if (batches_.size() < s) batches_.resize(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    FEDL_CHECK_GT(jobs[i].iterations, 0u);
+    gather_client_batch(jobs[i].client, &batches_[i]);
+  }
+  if (local_w_.size() < s) local_w_.resize(s);
+
+  job_idx_.resize(s);
+  for (std::size_t i = 0; i < s; ++i) job_idx_[i] = i;
+  run_clients(job_idx_, [&](std::size_t slot, std::size_t i) {
+    FEDL_PROFILE_SCOPE("fl.client_local_job");
+    nn::Model* m = client_scratch(slot);
+    LocalOracle oracle(m, &batches_[i]);
+    LocalTrainResult& res = (*results)[i];
+    res = LocalTrainResult{};
+    // Local trajectory: w_local starts at the dispatch-time global model
+    // and walks its own DANE steps with ḡ = ∇F_k(w_local) (empty
+    // global_grad). Every evaluation sets the scratch params explicitly
+    // (scratch_at_w = false), so serial runs can reuse model_ across jobs
+    // and replicas copy-on-write detach safely — bit-identical either way.
+    nn::ParamVec& w_local = local_w_[i];
+    w_local = w_;
+    const nn::ParamVec no_global_grad;
+    for (std::size_t it = 0; it < jobs[i].iterations; ++it) {
+      const LocalUpdate u =
+          dane_local_step(oracle, w_local, no_global_grad, cfg_.dane,
+                          /*scratch_at_w=*/false);
+      axpy(1.0f, u.d, w_local);
+      res.eta = std::max(res.eta, u.eta);
+      res.loss_reduction += u.loss_before - u.loss_after;
+      ++res.completed_iters;
+    }
+    client_iterations_counter().add(res.completed_iters);
+    // The uplink carries d = w_local − w_base through the compressor
+    // (per-client state, concurrent-safe).
+    for (std::size_t p = 0; p < w_local.size(); ++p) w_local[p] -= w_[p];
+    compress::CompressedUpdate cu =
+        compressor_->apply(w_local, jobs[i].client);
+    res.payload_bits = cu.payload_bits;
+    res.update = std::move(cu.restored);
+  });
+  trim_replicas();
+}
+
 EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
                                  std::size_t iterations) {
   FEDL_PROFILE_SCOPE("fl.run_epoch");
@@ -349,37 +443,15 @@ EpochOutcome FlEngine::run_epoch(const std::vector<std::size_t>& selected,
     out.latency_s = max_latency;
   }
 
-  // Shrink the replica pool back to this epoch's realized fan-out width: a
-  // wide epoch must not pin worst-case replica buffers forever. The gauges
-  // report what the pool actually pins (params only when copy-on-write
-  // detached them, plus gradients and activation caches).
-  if (replicas_.size() > epoch_max_slots_) replicas_.resize(epoch_max_slots_);
-  std::size_t replica_bytes = 0;
-  for (const auto& r : replicas_) replica_bytes += r.owned_bytes();
-  replica_bytes_gauge().set(static_cast<double>(replica_bytes));
-  replica_count_gauge().set(static_cast<double>(replicas_.size()));
+  trim_replicas();
 
-  // Evaluation at the end-of-epoch model. Selected-membership is answered
-  // by a per-client-id mask built once per epoch, keeping this epilogue
-  // O(|available| + |selected|) rather than O(|available|·|selected|).
-  for (std::size_t k : selected) {
-    FEDL_CHECK_LT(k, selected_mask_.size());
-    selected_mask_[k] = 1;
-  }
-  selected_data_.clear();
-  all_data_.clear();
-  for (const auto& obs : ctx.available) {
-    const auto& idx = env_->client_data(obs.id);
-    all_data_.insert(all_data_.end(), idx.begin(), idx.end());
-    if (obs.id < selected_mask_.size() && selected_mask_[obs.id])
-      selected_data_.insert(selected_data_.end(), idx.begin(), idx.end());
-  }
-  for (std::size_t k : selected) selected_mask_[k] = 0;
-  out.train_loss_selected = loss_on_indices(selected_data_);
-  out.train_loss_all = loss_on_indices(all_data_);
-  const nn::EvalResult test = evaluate_test();
-  out.test_loss = test.loss;
-  out.test_accuracy = test.accuracy;
+  // Evaluation at the end-of-epoch model (extracted so the event-driven
+  // path evaluates cohorts with the identical code and RNG order).
+  const CohortEval ev = evaluate_cohort(selected);
+  out.train_loss_selected = ev.train_loss_selected;
+  out.train_loss_all = ev.train_loss_all;
+  out.test_loss = ev.test_loss;
+  out.test_accuracy = ev.test_accuracy;
 
   {
     const EpochSeries& series = epoch_series();

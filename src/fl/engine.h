@@ -63,6 +63,32 @@ struct EngineConfig {
   std::uint64_t seed = 17;
 };
 
+// One unit of asynchronous local work: client `client` trains `iterations`
+// DANE steps starting from the engine's current global model, with ḡ taken
+// as its own local gradient (no cross-client gradient averaging — in the
+// event-driven mode there is no global barrier at which ḡ could be formed).
+struct LocalTrainJob {
+  std::size_t client = 0;
+  std::size_t iterations = 0;
+};
+
+// What one LocalTrainJob produced, measured against the dispatch-time model.
+struct LocalTrainResult {
+  nn::ParamVec update;          // compressed-restored d = w_local − w_base
+  double eta = 0.0;             // max η over the iterations
+  double loss_reduction = 0.0;  // Σ_i F_k(before) − F_k(after)
+  double payload_bits = 0.0;    // uplink size of the final update
+  std::size_t completed_iters = 0;
+};
+
+// End-of-cohort evaluation snapshot at the engine's current global model.
+struct CohortEval {
+  double train_loss_selected = 0.0;  // F̃ over the cohort's clients' data
+  double train_loss_all = 0.0;       // F over all currently-available data
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
 struct EpochOutcome {
   std::size_t epoch = 0;
   std::vector<std::size_t> selected;
@@ -101,12 +127,30 @@ class FlEngine {
   const nn::ParamVec& global_params() const { return w_; }
   void set_global_params(nn::ParamVec w);
   std::size_t num_params() const { return w_.size(); }
+  const EngineConfig& config() const { return cfg_; }
 
   // F(w) over (a cap of) the given sample indices at the current w.
   double loss_on_indices(const std::vector<std::size_t>& indices);
 
   // Loss/accuracy on the test set (capped at eval_cap samples).
   nn::EvalResult evaluate_test();
+
+  // Runs every job's local training independently from the current global
+  // model (the event-driven path: updates are NOT applied to w — the caller
+  // buffers them and aggregates on flush). Minibatches are gathered on the
+  // calling thread in job order, so the engine RNG stream is consumed
+  // deterministically; the training itself fans out across scheduler worker
+  // leases exactly like run_epoch's phases and is bit-identical at any
+  // thread count (per-job state only, results reduced nowhere).
+  void run_local_jobs(const std::vector<LocalTrainJob>& jobs,
+                      std::vector<LocalTrainResult>* results);
+
+  // The end-of-epoch evaluation block of run_epoch, reusable at cohort
+  // resolution in event mode: losses over the cohort's / all available
+  // clients' data and the test metrics, all at the current global model and
+  // the environment's *current* epoch context. Consumes engine RNG in the
+  // exact order run_epoch's epilogue does.
+  CohortEval evaluate_cohort(const std::vector<std::size_t>& selected);
 
  private:
   // Gathers client k's per-epoch minibatch into `out` (reused storage).
@@ -125,6 +169,10 @@ class FlEngine {
   // Grows the shared-weight replica pool to at least `slots` entries and
   // records the epoch's high-water mark (run_epoch trims back to it).
   void ensure_replicas(std::size_t slots);
+
+  // Trims the replica pool back to the epoch's fan-out high-water mark and
+  // refreshes the fl.replica_bytes / fl.replicas gauges.
+  void trim_replicas();
 
   // Scratch model for fan-out slot `slot`: a shared-weight replica when
   // training in parallel, the engine's own model when serial. Replicas are
@@ -164,6 +212,8 @@ class FlEngine {
   std::vector<double> payload_bits_;  // last uplink size per client
   std::vector<std::size_t> drop_iter_;   // fault-injection schedule
   std::vector<std::size_t> alive_idx_;   // per-iteration survivor set
+  std::vector<std::size_t> job_idx_;     // run_local_jobs fan-out index list
+  std::vector<nn::ParamVec> local_w_;    // per-job local model buffers
   std::vector<std::size_t> scratch_idx_; // capped-sampling index buffer
   std::vector<std::size_t> selected_data_;  // epilogue sample index unions
   std::vector<std::size_t> all_data_;

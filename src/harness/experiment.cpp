@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 
@@ -47,7 +48,9 @@ std::uint64_t scenario_config_hash(const ScenarioConfig& cfg) {
      << cfg.seed << '|' << static_cast<int>(cfg.bandwidth) << '|'
      << cfg.compressor << '|' << cfg.faults.dropout_prob << '|'
      << cfg.faults.timeout_multiplier << '|'
-     << static_cast<int>(cfg.aggregation);
+     << static_cast<int>(cfg.aggregation) << '|' << cfg.async.enabled << '|'
+     << cfg.async.buffer_k << '|' << cfg.async.staleness_exponent << '|'
+     << cfg.async.flush_timeout_s << '|' << cfg.width_explore;
   const std::string s = os.str();
   return obs::fnv1a(s.data(), s.size());
 }
@@ -185,6 +188,54 @@ void write_epoch_event(std::string& sink,
   sink += '\n';
 }
 
+// Virtual-clock event record (event-driven mode): one line per
+// dispatch/complete/drop/flush, streamed in virtual-time order between the
+// (reorder-buffered) epoch records. Field nullability is per kind —
+// staleness only exists once an update arrives (complete, and flush's batch
+// max), buffer occupancy is meaningless before anything can be buffered
+// (dispatch), aggregated counts exist only for flushes, and a flush has no
+// single client. scripts/validate_trace.py enforces exactly these rules.
+void write_event_record(std::string& sink, const std::string& algorithm,
+                        const fl::AsyncEvent& e) {
+  const char* kind = "dispatch";
+  switch (e.kind) {
+    case fl::AsyncEvent::Kind::kDispatch: kind = "dispatch"; break;
+    case fl::AsyncEvent::Kind::kComplete: kind = "complete"; break;
+    case fl::AsyncEvent::Kind::kDrop: kind = "drop"; break;
+    case fl::AsyncEvent::Kind::kFlush: kind = "flush"; break;
+  }
+  const bool is_flush = e.kind == fl::AsyncEvent::Kind::kFlush;
+  const bool is_complete = e.kind == fl::AsyncEvent::Kind::kComplete;
+  std::ostringstream line;
+  {
+    obs::JsonWriter w(line);
+    w.begin_object();
+    w.key("type").value("event");
+    w.key("algorithm").value(algorithm);
+    w.key("kind").value(kind);
+    w.key("vt").value(e.vt);
+    w.key("epoch").value(static_cast<std::uint64_t>(e.epoch));
+    w.key("client");
+    if (is_flush) w.null();
+    else w.value(static_cast<std::uint64_t>(e.client));
+    w.key("version").value(static_cast<std::uint64_t>(e.version));
+    w.key("staleness");
+    if (is_complete || is_flush)
+      w.value(static_cast<std::uint64_t>(e.staleness));
+    else
+      w.null();
+    w.key("buffer");
+    if (e.kind == fl::AsyncEvent::Kind::kDispatch) w.null();
+    else w.value(static_cast<std::uint64_t>(e.buffer));
+    w.key("aggregated");
+    if (is_flush) w.value(static_cast<std::uint64_t>(e.aggregated));
+    else w.null();
+    w.end_object();
+  }
+  sink += line.str();
+  sink += '\n';
+}
+
 // Determinism-sentinel record: the chain digest after folding in this
 // epoch's trace record and the aggregated model parameters. `prev` lets
 // scripts/validate_trace.py check chain continuity without recomputing.
@@ -288,6 +339,7 @@ nn::Model Experiment::build_model() const {
 }
 
 RunResult Experiment::run(core::SelectionStrategy& strategy) {
+  if (cfg_.async.enabled) return run_async(strategy);
   // Fresh, seed-identical world per run.
   sim::EdgeEnvironment env(environment_spec(), partition_);
   fl::EngineConfig ec;
@@ -533,6 +585,349 @@ RunResult Experiment::run(core::SelectionStrategy& strategy) {
   return result;
 }
 
+RunResult Experiment::run_async(core::SelectionStrategy& strategy) {
+  // World construction mirrors run() exactly: same seeds, same engine
+  // config, so lockstep and event mode race on identical physics and the
+  // only difference is the execution discipline.
+  sim::EdgeEnvironment env(environment_spec(), partition_);
+  fl::EngineConfig ec;
+  ec.dane = cfg_.dane;
+  ec.aggregation = cfg_.aggregation;
+  ec.compressor = cfg_.compressor;
+  // The event engine draws mid-flight failures itself from this spec at
+  // dispatch (an async dropout is a total loss, not a partial barrier
+  // harvest); run_local_jobs never injects faults, so there is no double
+  // application.
+  ec.faults = cfg_.faults;
+  ec.batch_cap = cfg_.batch_cap;
+  ec.eval_cap = cfg_.eval_cap;
+  ec.num_threads = cfg_.num_threads;
+  ec.seed = cfg_.seed * 47 + 19;
+  fl::FlEngine engine(&data_.train, &data_.test, &env, build_model(), ec);
+
+  if (!cfg_.checkpoint_path.empty()) {
+    std::ifstream probe(cfg_.checkpoint_path);
+    if (probe.good()) {
+      engine.set_global_params(nn::load_params(cfg_.checkpoint_path));
+      FEDL_INFO << "resumed global model from " << cfg_.checkpoint_path;
+    }
+  }
+
+  core::BudgetLedger ledger(cfg_.budget);
+  core::RegretConfig rc;
+  rc.theta = cfg_.theta;
+  rc.n_min = cfg_.n_min;
+  RunResult result{fl::TrainTrace{strategy.name(), {}},
+                   core::RegretTracker(cfg_.num_clients, rc),
+                   0,
+                   false,
+                   {},
+                   {},
+                   {},
+                   {}};
+
+  obs::set_manifest_field("seed", static_cast<std::uint64_t>(cfg_.seed));
+  obs::set_manifest_field("algorithm", result.trace.algorithm);
+  obs::set_manifest_field("config_hash",
+                          obs::digest_hex(scenario_config_hash(cfg_)));
+
+  auto* fedl_strategy = dynamic_cast<core::FedLStrategy*>(&strategy);
+  std::optional<obs::InvariantMonitor> monitor;
+  if (cfg_.monitor) monitor.emplace(cfg_.monitor_config);
+  obs::DigestChain digest;
+  const bool tracing = !cfg_.trace_out.empty();
+  std::string trace_buffer;
+
+  fl::EventEngine evt(&engine, &env, cfg_.async, cfg_.seed * 71 + 23);
+
+  // Decision-time state an epoch needs when its cohort finally resolves:
+  // outcomes arrive out of dispatch order (a big straggler cohort can outlive
+  // several later ones), while observe()/regret/trace must consume the
+  // context and learner snapshot of the *dispatching* epoch.
+  struct PendingEpoch {
+    sim::EpochContext ctx;  // in-flight members filtered out
+    core::Decision decision;
+    LearnerSnapshot snap;
+    double decide_latency_s = 0.0;
+    double rho = 0.0;
+    double cap = 0.0;
+  };
+  std::map<std::size_t, PendingEpoch> pending;
+  std::map<std::size_t, fl::CohortOutcome> resolved;  // by dispatch epoch
+  std::size_t next_emit = 0;
+  bool next_emit_set = false;
+
+  std::size_t cumulative_rounds = 0;
+  double sim_time = 0.0;  // running max of resolve virtual times
+  const double min_rent = environment_spec().device.cost_lo;
+  std::size_t empty_streak = 0;
+
+  // Streams this turn's events into the trace and files resolved cohorts
+  // into the reorder buffer.
+  auto pump = [&]() {
+    if (tracing) {
+      for (const fl::AsyncEvent& e : evt.take_events())
+        write_event_record(trace_buffer, result.trace.algorithm, e);
+    } else {
+      evt.take_events();
+    }
+    for (fl::CohortOutcome& co : evt.take_resolved()) {
+      const std::size_t ep = co.outcome.epoch;
+      resolved.emplace(ep, std::move(co));
+    }
+  };
+
+  // Emits every epoch whose cohort has resolved, in contiguous epoch order,
+  // with the exact record/observe/regret/monitor sequence of the lockstep
+  // loop (strict-monitor anomalies FEDL_CHECK from inside, after the trace
+  // commits, exactly as there).
+  auto drain = [&]() {
+    while (next_emit_set) {
+      auto it = resolved.find(next_emit);
+      if (it == resolved.end()) break;
+      const fl::CohortOutcome& co = it->second;
+      const fl::EpochOutcome& out = co.outcome;
+      PendingEpoch& pe = pending.at(next_emit);
+
+      if (tracing || cfg_.record_digests) {
+        std::string epoch_line;
+        write_epoch_event(epoch_line, result.trace.algorithm, pe.ctx,
+                          pe.decision, pe.snap, out, ledger, cfg_.budget);
+        if (cfg_.record_digests) {
+          const std::uint64_t prev = digest.value();
+          digest.update(epoch_line.data(), epoch_line.size());
+          const nn::ParamVec& w = engine.global_params();
+          if (!w.empty()) digest.update(w.data(), w.size() * sizeof(w[0]));
+          result.epoch_digests.push_back(digest.value());
+          if (tracing)
+            write_digest_event(epoch_line, result.trace.algorithm,
+                               pe.ctx.epoch, prev, digest.value());
+        }
+        if (tracing) trace_buffer += epoch_line;
+      }
+      strategy.observe(pe.ctx, pe.decision, out);
+      result.regret.record(pe.ctx, ledger, pe.decision, pe.rho, out);
+
+      {
+        const HarnessSeries& series = harness_series();
+        const auto epoch = static_cast<std::uint64_t>(pe.ctx.epoch);
+        series.budget_spent.sample(epoch, ledger.spent());
+        if (fedl_strategy != nullptr)
+          series.pacing_cap.sample(epoch, pe.cap);
+        series.decide_latency.sample(epoch, pe.decide_latency_s);
+        if (obs::TimeSeriesRecorder::global().enabled())
+          series.scheduler_inflight.sample(
+              epoch,
+              static_cast<double>(Scheduler::instance().stats().inflight()));
+      }
+
+      if (monitor) {
+        obs::EpochSample sample;
+        sample.epoch = static_cast<std::uint64_t>(pe.ctx.epoch);
+        if (fedl_strategy != nullptr) {
+          sample.regret = result.regret.regret();
+          sample.regret_bound = core::theorem2_regret_bound(
+              cfg_.theorem_constants, result.regret.v_phi(),
+              result.regret.v_h(), result.regret.v_h_step_max(),
+              static_cast<double>(result.regret.epochs()));
+        }
+        sample.epoch_cost = out.cost;
+        if (fedl_strategy != nullptr && !pe.decision.selected.empty())
+          sample.pacing_cap = pe.cap;
+        sample.budget_spent = ledger.spent();
+        sample.budget_total = cfg_.budget;
+        if (!pe.decision.selected.empty()) sample.eta_max = out.eta_max;
+        sample.num_selected =
+            static_cast<double>(pe.decision.selected.size());
+        sample.num_dropped = static_cast<double>(out.num_dropped);
+        const auto fired = monitor->on_epoch(sample);
+        for (const auto& a : fired) {
+          FEDL_WARN << "monitor anomaly [" << a.monitor << "] epoch "
+                    << a.epoch << ": " << a.detail;
+          if (tracing)
+            write_anomaly_event(trace_buffer, result.trace.algorithm, a);
+          result.anomalies.push_back(a);
+        }
+        if (!fired.empty() && cfg_.strict_monitor) {
+          if (tracing && !cfg_.defer_trace) {
+            obs::EventTraceWriter(cfg_.trace_out, true)
+                .write_raw(trace_buffer);
+            trace_buffer.clear();
+          }
+          FEDL_CHECK(false) << "--strict-monitor: " << fired.front().monitor
+                            << " anomaly at epoch " << fired.front().epoch
+                            << " — " << fired.front().detail;
+        }
+      }
+
+      cumulative_rounds += out.num_iterations;
+      sim_time = std::max(sim_time, co.resolve_vt);
+      fl::TraceRecord rec;
+      rec.epoch = pe.ctx.epoch;
+      rec.round = cumulative_rounds;
+      rec.sim_time_s = sim_time;
+      rec.cost_spent = ledger.spent();
+      rec.train_loss = out.train_loss_all;
+      rec.test_loss = out.test_loss;
+      rec.test_accuracy = out.test_accuracy;
+      rec.num_selected = pe.decision.selected.size();
+      rec.num_iterations = out.num_iterations;
+      rec.eta = out.eta_max;
+      result.trace.records.push_back(rec);
+      ++result.epochs_run;
+
+      resolved.erase(it);
+      pending.erase(next_emit);
+      ++next_emit;
+    }
+  };
+
+  for (std::size_t t = 0; t < cfg_.max_epochs; ++t) {
+    if (ledger.exhausted() || ledger.remaining() < min_rent) {
+      result.budget_exhausted = true;
+      result.termination_reason = "budget_exhausted";
+      break;
+    }
+    FEDL_PROFILE_SCOPE("harness.epoch");
+    const sim::EpochContext& raw = env.advance_epoch();
+
+    // A client still training its previous cohort cannot be re-rented: the
+    // decision maker sees the availability set minus the in-flight members.
+    sim::EpochContext ctx;
+    ctx.epoch = raw.epoch;
+    ctx.available.reserve(raw.available.size());
+    for (const auto& o : raw.available)
+      if (!evt.client_inflight(o.id)) ctx.available.push_back(o);
+
+    if (!ctx.available.empty()) {
+      std::vector<double> costs;
+      costs.reserve(ctx.available.size());
+      for (const auto& o : ctx.available) costs.push_back(o.cost);
+      std::sort(costs.begin(), costs.end());
+      const std::size_t need =
+          std::min<std::size_t>(cfg_.n_min, costs.size());
+      double cheapest_n = 0.0;
+      for (std::size_t i = 0; i < need; ++i) cheapest_n += costs[i];
+      if (cheapest_n > ledger.remaining()) {
+        result.budget_exhausted = true;
+        result.termination_reason = "infeasible_floor";
+        break;
+      }
+    }
+
+    core::Decision decision;
+    double decide_latency_s = 0.0;
+    {
+      FEDL_PROFILE_SCOPE("strategy.decide");
+      const auto decide_start = std::chrono::steady_clock::now();
+      decision = strategy.decide(ctx, ledger);
+      decide_latency_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - decide_start)
+                             .count();
+    }
+    if (decision.selected.empty()) {
+      ++empty_streak;
+      if (cfg_.empty_decision_streak > 0 &&
+          empty_streak >= cfg_.empty_decision_streak) {
+        result.termination_reason = "empty_decisions";
+        break;
+      }
+    } else {
+      empty_streak = 0;
+    }
+    for (std::size_t id : decision.selected)
+      FEDL_CHECK(ctx.is_available(id))
+          << strategy.name() << " selected unavailable client " << id;
+
+    PendingEpoch pe;
+    pe.snap = LearnerSnapshot::capture(strategy, ctx);
+    pe.decide_latency_s = decide_latency_s;
+    pe.rho = static_cast<double>(
+        std::max<std::size_t>(1, decision.num_iterations));
+    if (fedl_strategy != nullptr) {
+      pe.rho = fedl_strategy->last_fraction().rho;
+      pe.cap = fedl_strategy->last_fraction().cap;
+    }
+    pe.ctx = std::move(ctx);
+    pe.decision = decision;
+    if (!next_emit_set) {
+      next_emit = pe.ctx.epoch;
+      next_emit_set = true;
+    }
+    const std::size_t this_epoch = pe.ctx.epoch;
+    pending.emplace(this_epoch, std::move(pe));
+
+    if (decision.selected.empty()) {
+      // No cohort to dispatch; the epoch still evaluates the current model
+      // (lockstep's empty run_epoch) and resolves immediately at vt now.
+      fl::CohortOutcome co;
+      co.outcome.epoch = this_epoch;
+      co.outcome.num_iterations = decision.num_iterations;
+      const fl::CohortEval ev = engine.evaluate_cohort({});
+      co.outcome.train_loss_selected = ev.train_loss_selected;
+      co.outcome.train_loss_all = ev.train_loss_all;
+      co.outcome.test_loss = ev.test_loss;
+      co.outcome.test_accuracy = ev.test_accuracy;
+      co.dispatch_vt = evt.now();
+      co.resolve_vt = evt.now();
+      resolved.emplace(this_epoch, std::move(co));
+    } else {
+      // Spend commits when the rent is paid: the ledger is charged at
+      // dispatch, so the budget can never be overdrawn by results that are
+      // still in flight (decide() capped the cohort by remaining()).
+      double cohort_cost = 0.0;
+      const PendingEpoch& stored = pending.at(this_epoch);
+      for (std::size_t id : decision.selected) {
+        const sim::ClientObservation* obs = stored.ctx.find(id);
+        FEDL_CHECK(obs != nullptr);
+        cohort_cost += obs->cost;
+      }
+      ledger.charge(cohort_cost);
+      evt.dispatch(this_epoch, decision.selected,
+                   std::max<std::size_t>(1, decision.num_iterations),
+                   cohort_cost);
+    }
+
+    // Advance the virtual clock to the next flush boundary (or synthetic
+    // resolution): this is where aggregation happens and feedback becomes
+    // available — the next decide() runs against the post-flush model.
+    evt.run_until_flush();
+    pump();
+    drain();
+  }
+
+  // Termination: stragglers still in flight must land — their rent is spent
+  // and the learner deserves the feedback. Each turn flushes at most once,
+  // so iterate until the event engine is empty.
+  while (!evt.drained()) {
+    evt.run_until_flush();
+    pump();
+    drain();
+  }
+  pump();
+  drain();
+  FEDL_CHECK(pending.empty())
+      << pending.size() << " dispatched epochs never resolved";
+
+  if (ledger.exhausted()) result.budget_exhausted = true;
+  if (result.termination_reason.empty())
+    result.termination_reason = "max_epochs";
+  if (tracing) {
+    if (cfg_.defer_trace)
+      result.trace_jsonl = std::move(trace_buffer);
+    else
+      obs::EventTraceWriter(cfg_.trace_out, true).write_raw(trace_buffer);
+  }
+  if (cfg_.record_digests) obs::note_run_digest(digest.value());
+  if (!cfg_.checkpoint_path.empty())
+    nn::save_params(engine.global_params(), cfg_.checkpoint_path);
+  FEDL_INFO << strategy.name() << " [async]: " << result.epochs_run
+            << " epochs, acc=" << result.trace.final_accuracy()
+            << " vt=" << result.trace.total_time() << "s"
+            << " cost=" << result.trace.total_cost() << "/" << cfg_.budget;
+  return result;
+}
+
 std::unique_ptr<core::SelectionStrategy> make_strategy(
     const std::string& name, const ScenarioConfig& cfg) {
   core::BaselineConfig base;
@@ -545,8 +940,13 @@ std::unique_ptr<core::SelectionStrategy> make_strategy(
     fc.learner.n_min = cfg.n_min;
     fc.learner.theta = cfg.theta;
     fc.learner.selection_width = cfg.selection_width;
+    fc.learner.width_explore = cfg.width_explore;
     fc.l_max = std::max<std::size_t>(cfg.fixed_iterations * 2, 4);
     fc.learner.rho_max = static_cast<double>(fc.l_max);
+    // Event-driven feedback arrives out of order, long after newer decides
+    // overwrote last_fraction(): keep enough fractional history to match any
+    // straggler's outcome to its own epoch's decision.
+    if (cfg.async.enabled) fc.fraction_history = 64;
     fc.independent_rounding = (name == "fedl-ind");
     fc.fairness.enabled = (name == "fedl-fair");
     fc.seed = cfg.seed * 61 + 37;

@@ -18,6 +18,7 @@
 #include "core/strategy.h"
 #include "data/synthetic.h"
 #include "fl/engine.h"
+#include "fl/event_engine.h"
 #include "fl/trace.h"
 #include "obs/monitor.h"
 
@@ -57,6 +58,15 @@ struct ScenarioConfig {
   fl::FaultSpec faults;
   // Server aggregation rule (paper formula vs selected-mean; DESIGN.md §4).
   fl::AggregationRule aggregation = fl::AggregationRule::kSelectedMean;
+  // Event-driven (buffered-asynchronous) execution: async.enabled routes
+  // run() through the virtual-clock EventEngine (DESIGN.md §12) — cohorts
+  // overlap, aggregation happens on buffer flushes with staleness damping,
+  // and the trace gains "event" records. Off (default) is the lockstep
+  // path, byte-identical to before this mode existed.
+  fl::AsyncConfig async;
+  // UCB exploration bonus for the selection_width pruning score
+  // (LearnerConfig::width_explore); 0 = pure exploit, bit-identical.
+  double width_explore = 0.0;
   // Worker threads for per-client local training (FlEngine fan-out);
   // 1 = serial, 0 = draw the fan-out from the process-wide Scheduler's
   // remaining thread budget, K > 1 = request at most K-1 extra workers.
@@ -135,6 +145,10 @@ class Experiment {
  private:
   sim::EnvironmentSpec environment_spec() const;
   nn::Model build_model() const;
+  // The event-driven variant of run() (cfg.async.enabled): decisions at
+  // flush boundaries, overlapping cohorts, epoch records emitted through a
+  // reorder buffer so the trace schema stays monotone per epoch.
+  RunResult run_async(core::SelectionStrategy& strategy);
 
   ScenarioConfig cfg_;
   data::TrainTest data_;

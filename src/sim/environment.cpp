@@ -201,4 +201,19 @@ std::vector<double> EdgeEnvironment::realized_upload_times(
   return out;
 }
 
+std::vector<double> EdgeEnvironment::realized_completion_times(
+    const std::vector<std::size_t>& selected, std::size_t iterations) const {
+  FEDL_CHECK(!selected.empty());
+  FEDL_CHECK_GT(iterations, 0u);
+  std::vector<double> out = realized_upload_times(selected);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const ClientObservation* obs = context_.find(selected[i]);
+    FEDL_CHECK(obs != nullptr)
+        << "client " << selected[i] << " not available in epoch "
+        << context_.epoch;
+    out[i] = static_cast<double>(iterations) * (obs->tau_loc + out[i]);
+  }
+  return out;
+}
+
 }  // namespace fedl::sim

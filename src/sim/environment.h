@@ -98,6 +98,16 @@ class EdgeEnvironment {
       const std::vector<std::size_t>& selected,
       const std::vector<double>& payload_bits) const;
 
+  // Simulated end-to-end completion times d_k(t) = iterations·(τ^loc_k +
+  // τ^cm_k) for a committed cohort (parallel to `selected`), under the
+  // configured bandwidth policy at the paper's constant payload s. This is
+  // the same latency model run_epoch charges synchronously; the event-driven
+  // engine samples it once at dispatch to schedule completion events on the
+  // virtual clock, so lockstep and event mode compare on identical d_k.
+  // Clients must be available in the current epoch context.
+  std::vector<double> realized_completion_times(
+      const std::vector<std::size_t>& selected, std::size_t iterations) const;
+
   // Dense-mode accessors; FEDL_CHECK in lazy mode (no materialized state).
   const DeviceFleet& fleet() const;
   const net::ChannelModel& channel() const;

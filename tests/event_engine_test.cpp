@@ -1,0 +1,343 @@
+// Event-driven engine (DESIGN.md §12): virtual-clock semantics, FedBuff
+// buffer accounting, dropout-as-total-loss, staleness damping, and the
+// harness-level determinism contract (same-seed byte identity, equal digest
+// chains across --jobs/--threads, budget never overdrawn, clean monitored
+// runs fire nothing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/staleness.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/event_engine.h"
+#include "harness/experiment.h"
+#include "nn/factory.h"
+#include "parallel/scheduler.h"
+
+namespace fedl::fl {
+namespace {
+
+// --- staleness damping -----------------------------------------------------------
+
+TEST(Staleness, ExponentZeroIsUndampedCohortMean) {
+  // All fresh, all from one cohort of 3: exactly the lockstep selected-mean
+  // weights, regardless of how many of them share this flush.
+  const std::vector<std::size_t> s = {0, 0, 0};
+  const std::vector<std::size_t> cohorts = {3, 3, 3};
+  const auto w = core::staleness_weights(s, cohorts, 0.0);
+  ASSERT_EQ(w.size(), 3u);
+  for (double wi : w) EXPECT_DOUBLE_EQ(wi, 1.0 / 3.0);
+}
+
+TEST(Staleness, CohortNormalizationTelescopesToLockstepMean) {
+  // A cohort of 4 sliced into two K=2 flushes must apply, in total, the
+  // same 1/4 weight per update the barrier version would — buffer-size
+  // normalization would double it.
+  const std::vector<std::size_t> s = {0, 0};
+  const std::vector<std::size_t> cohorts = {4, 4};
+  const auto w = core::staleness_weights(s, cohorts, 0.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+}
+
+TEST(Staleness, DampingDecaysPolynomially) {
+  EXPECT_DOUBLE_EQ(core::staleness_damping(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(core::staleness_damping(3, 1.0), 0.25);
+  EXPECT_NEAR(core::staleness_damping(3, 0.5), 0.5, 1e-12);
+  // Monotone in staleness for a > 0.
+  EXPECT_LT(core::staleness_damping(5, 0.5), core::staleness_damping(1, 0.5));
+  const std::vector<std::size_t> s = {0, 1};
+  const std::vector<std::size_t> cohorts = {2, 2};
+  const auto w = core::staleness_weights(s, cohorts, 1.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);    // fresh: 1/|S|
+  EXPECT_DOUBLE_EQ(w[1], 0.25);   // one version behind: damped by 1/2
+}
+
+// --- EventEngine unit semantics --------------------------------------------------
+
+struct EventFixture {
+  explicit EventFixture(std::uint64_t seed, double dropout_prob = 0.0) {
+    data = std::make_unique<data::TrainTest>(data::make_synthetic_train_test(
+        data::fmnist_like_spec(300, seed), 90));
+    Rng prng(seed);
+    auto part = data::partition_iid(data->train, kClients, prng);
+    sim::EnvironmentSpec es;
+    es.num_clients = kClients;
+    es.device.seed = seed + 1;
+    es.device.availability_prob = 1.0;  // everyone shows up every epoch
+    es.channel.seed = seed + 2;
+    es.online.seed = seed + 3;
+    env = std::make_unique<sim::EdgeEnvironment>(es, part);
+
+    Rng mrng(seed + 4);
+    nn::ModelSpec ms;
+    ms.width_scale = 0.05;
+    nn::Model model = nn::make_fmnist_cnn(ms, mrng);
+    EngineConfig ec;
+    ec.batch_cap = 12;
+    ec.eval_cap = 48;
+    ec.dane.sgd_steps = 2;
+    ec.seed = seed + 5;
+    ec.faults.dropout_prob = dropout_prob;
+    engine = std::make_unique<FlEngine>(&data->train, &data->test, env.get(),
+                                        std::move(model), ec);
+  }
+
+  std::vector<std::size_t> first_available(std::size_t n) const {
+    const auto& ctx = env->context();
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n && i < ctx.available.size(); ++i)
+      out.push_back(ctx.available[i].id);
+    return out;
+  }
+
+  static constexpr std::size_t kClients = 8;
+  std::unique_ptr<data::TrainTest> data;
+  std::unique_ptr<sim::EdgeEnvironment> env;
+  std::unique_ptr<FlEngine> engine;
+};
+
+TEST(EventEngine, FlushAtKAndVersionAdvance) {
+  EventFixture f(11);
+  f.env->advance_epoch();
+  AsyncConfig ac;
+  ac.enabled = true;
+  ac.buffer_k = 2;
+  EventEngine evt(f.engine.get(), f.env.get(), ac, 99);
+
+  const auto sel = f.first_available(4);
+  ASSERT_EQ(sel.size(), 4u);
+  evt.dispatch(1, sel, /*iterations=*/2, /*cohort_cost=*/1.0);
+  EXPECT_EQ(evt.inflight(), 4u);
+  for (std::size_t id : sel) EXPECT_TRUE(evt.client_inflight(id));
+
+  // First flush: exactly K=2 updates folded, model version 0 → 1.
+  ASSERT_TRUE(evt.run_until_flush());
+  EXPECT_EQ(evt.version(), 1u);
+  auto events = evt.take_events();
+  std::size_t flushes = 0, completes = 0;
+  double last_vt = -1.0;
+  for (const AsyncEvent& e : events) {
+    EXPECT_GE(e.vt, last_vt);  // virtual time never runs backwards
+    last_vt = e.vt;
+    if (e.kind == AsyncEvent::Kind::kComplete) {
+      ++completes;
+      EXPECT_EQ(e.staleness, 0u);  // no flush happened before these arrived
+    }
+    if (e.kind == AsyncEvent::Kind::kFlush) {
+      ++flushes;
+      EXPECT_EQ(e.aggregated, 2u);
+      EXPECT_EQ(e.buffer, 0u);
+      EXPECT_EQ(e.aggregated, completes);  // flush folds what completed
+    }
+  }
+  EXPECT_EQ(flushes, 1u);
+  EXPECT_EQ(completes, 2u);
+
+  // Each member's engagement is a chain of unit steps: 4 members × 2
+  // iterations = 8 unit uploads total, so K=2 slices the run into exactly
+  // 4 flushes and the model version ends at 4. Later steps trained against
+  // flushed models, so at least one of them arrives stale.
+  std::size_t more_completes = 0, stale_completes = 0;
+  while (evt.run_until_flush()) {
+    for (const AsyncEvent& e : evt.take_events())
+      if (e.kind == AsyncEvent::Kind::kComplete) {
+        ++more_completes;
+        if (e.staleness > 0) ++stale_completes;
+      }
+  }
+  EXPECT_EQ(more_completes, 6u);
+  EXPECT_GT(stale_completes, 0u);
+  EXPECT_EQ(evt.version(), 4u);
+  EXPECT_TRUE(evt.drained());
+  EXPECT_EQ(evt.inflight(), 0u);
+
+  // The cohort resolves once, fully populated.
+  const auto resolved = evt.take_resolved();
+  ASSERT_EQ(resolved.size(), 1u);
+  const EpochOutcome& out = resolved.front().outcome;
+  EXPECT_EQ(out.selected, sel);
+  EXPECT_EQ(out.num_dropped, 0u);
+  for (std::size_t it : out.client_completed_iters) EXPECT_EQ(it, 2u);
+  EXPECT_GT(out.eta_max, 0.0);
+  EXPECT_GE(resolved.front().resolve_vt, resolved.front().dispatch_vt);
+}
+
+TEST(EventEngine, ShortBufferDrainFlushesRemainder) {
+  EventFixture f(12);
+  f.env->advance_epoch();
+  AsyncConfig ac;
+  ac.enabled = true;
+  ac.buffer_k = 8;  // larger than the cohort: only the drain flush fires
+  EventEngine evt(f.engine.get(), f.env.get(), ac, 99);
+  const auto sel = f.first_available(3);
+  ASSERT_EQ(sel.size(), 3u);
+  evt.dispatch(1, sel, 1, 1.0);
+  ASSERT_TRUE(evt.run_until_flush());
+  std::size_t flushes = 0;
+  for (const AsyncEvent& e : evt.take_events())
+    if (e.kind == AsyncEvent::Kind::kFlush) {
+      ++flushes;
+      EXPECT_EQ(e.aggregated, 3u);  // nothing stranded in the buffer
+    }
+  EXPECT_EQ(flushes, 1u);
+  EXPECT_TRUE(evt.drained());
+  EXPECT_FALSE(evt.run_until_flush());  // nothing left to do
+}
+
+TEST(EventEngine, DropoutIsATotalLoss) {
+  // dropout_prob = 1: every member dies mid-flight. No update is buffered,
+  // no flush happens, the model version stays 0, and the cohort still
+  // resolves (with everything dropped) so the learner gets its feedback.
+  EventFixture f(13, /*dropout_prob=*/1.0);
+  f.env->advance_epoch();
+  AsyncConfig ac;
+  ac.enabled = true;
+  ac.buffer_k = 2;
+  EventEngine evt(f.engine.get(), f.env.get(), ac, 99);
+  const auto sel = f.first_available(3);
+  ASSERT_EQ(sel.size(), 3u);
+  const nn::ParamVec w_before = f.engine->global_params();
+  evt.dispatch(1, sel, 2, 1.0);
+  EXPECT_FALSE(evt.run_until_flush());  // nothing ever reaches the buffer
+  EXPECT_EQ(evt.version(), 0u);
+  EXPECT_EQ(f.engine->global_params(), w_before);  // model untouched
+
+  std::size_t drops = 0;
+  for (const AsyncEvent& e : evt.take_events()) {
+    EXPECT_NE(e.kind, AsyncEvent::Kind::kFlush);
+    EXPECT_NE(e.kind, AsyncEvent::Kind::kComplete);
+    if (e.kind == AsyncEvent::Kind::kDrop) ++drops;
+  }
+  EXPECT_EQ(drops, 3u);
+
+  const auto resolved = evt.take_resolved();
+  ASSERT_EQ(resolved.size(), 1u);
+  const EpochOutcome& out = resolved.front().outcome;
+  EXPECT_EQ(out.num_dropped, 3u);
+  for (std::size_t it : out.client_completed_iters) EXPECT_EQ(it, 0u);
+  // A straggling failure resolves at the timeout of its nominal finish.
+  for (std::size_t i = 0; i < out.client_latency_s.size(); ++i)
+    EXPECT_GT(out.client_latency_s[i], 0.0);
+  EXPECT_TRUE(evt.drained());
+}
+
+TEST(EventEngine, DoubleDispatchOfInflightClientIsAContractViolation) {
+  EventFixture f(14);
+  f.env->advance_epoch();
+  AsyncConfig ac;
+  ac.enabled = true;
+  ac.buffer_k = 4;
+  EventEngine evt(f.engine.get(), f.env.get(), ac, 99);
+  const auto sel = f.first_available(2);
+  ASSERT_EQ(sel.size(), 2u);
+  evt.dispatch(1, sel, 1, 1.0);
+  EXPECT_THROW(evt.dispatch(2, {sel[0]}, 1, 1.0), CheckError);
+}
+
+// --- harness-level contract ------------------------------------------------------
+
+harness::ScenarioConfig small_async_scenario(std::uint64_t seed) {
+  harness::ScenarioConfig cfg;
+  cfg.num_clients = 6;
+  cfg.n_min = 2;
+  cfg.budget = 90.0;
+  cfg.max_epochs = 8;
+  cfg.train_samples = 150;
+  cfg.test_samples = 60;
+  cfg.width_scale = 0.05;
+  cfg.batch_cap = 8;
+  cfg.eval_cap = 48;
+  cfg.dane.sgd_steps = 2;
+  cfg.seed = seed;
+  cfg.async.enabled = true;
+  cfg.async.buffer_k = 2;
+  cfg.async.staleness_exponent = 0.5;
+  return cfg;
+}
+
+TEST(AsyncHarness, RunCompletesAndNeverOverdrawsTheBudget) {
+  harness::ScenarioConfig cfg = small_async_scenario(21);
+  harness::Experiment exp(cfg);
+  auto strat = harness::make_strategy("fedl", cfg);
+  const auto res = exp.run(*strat);
+  EXPECT_GT(res.epochs_run, 0u);
+  // Spend is charged at dispatch and decide() caps by remaining(): the
+  // ledger can never go negative no matter how cohorts overlap.
+  EXPECT_LE(res.trace.total_cost(), cfg.budget + 1e-9);
+  EXPECT_FALSE(res.termination_reason.empty());
+  for (const auto& r : res.trace.records) {
+    EXPECT_TRUE(std::isfinite(r.test_accuracy));
+    EXPECT_LE(r.cost_spent, cfg.budget + 1e-9);
+  }
+  // Virtual wall-clock is monotone across the (reorder-buffered) records.
+  for (std::size_t i = 1; i < res.trace.records.size(); ++i)
+    EXPECT_GE(res.trace.records[i].sim_time_s,
+              res.trace.records[i - 1].sim_time_s);
+}
+
+TEST(AsyncHarness, SameSeedIsByteIdentical) {
+  harness::ScenarioConfig cfg = small_async_scenario(22);
+  cfg.record_digests = true;
+  cfg.trace_out = "unused.jsonl";  // tracing on, buffer returned to us
+  cfg.defer_trace = true;
+  harness::Experiment exp(cfg);
+  auto s1 = harness::make_strategy("fedl", cfg);
+  auto s2 = harness::make_strategy("fedl", cfg);
+  const auto a = exp.run(*s1);
+  const auto b = exp.run(*s2);
+  ASSERT_FALSE(a.epoch_digests.empty());
+  EXPECT_EQ(a.epoch_digests, b.epoch_digests);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+}
+
+TEST(AsyncHarness, DigestsEqualAcrossJobsAndThreads) {
+  // The determinism headline: the event path must produce identical traces
+  // and digest chains whether local training fans out or runs serial.
+  harness::ScenarioConfig cfg = small_async_scenario(23);
+  cfg.record_digests = true;
+  cfg.trace_out = "unused.jsonl";
+  cfg.defer_trace = true;
+  cfg.num_threads = 0;  // draw fan-out from the scheduler's budget
+  harness::Experiment exp(cfg);
+
+  Scheduler::instance().configure(/*budget=*/4, /*jobs=*/4);
+  auto s1 = harness::make_strategy("fedl", cfg);
+  const auto wide = exp.run(*s1);
+  Scheduler::instance().configure(/*budget=*/1, /*jobs=*/1);
+  auto s2 = harness::make_strategy("fedl", cfg);
+  const auto serial = exp.run(*s2);
+  Scheduler::instance().configure(0, 1);  // restore defaults
+
+  ASSERT_FALSE(wide.epoch_digests.empty());
+  EXPECT_EQ(wide.epoch_digests, serial.epoch_digests);
+  EXPECT_EQ(wide.trace_jsonl, serial.trace_jsonl);
+}
+
+TEST(AsyncHarness, CleanSeededRunFiresNoAnomalies) {
+  harness::ScenarioConfig cfg = small_async_scenario(24);
+  cfg.monitor = true;
+  harness::Experiment exp(cfg);
+  auto strat = harness::make_strategy("fedl", cfg);
+  const auto res = exp.run(*strat);
+  EXPECT_GT(res.epochs_run, 0u);
+  EXPECT_TRUE(res.anomalies.empty())
+      << res.anomalies.size() << " anomalies; first: "
+      << res.anomalies.front().monitor << " — "
+      << res.anomalies.front().detail;
+}
+
+TEST(AsyncHarness, SurvivesMidFlightDropouts) {
+  harness::ScenarioConfig cfg = small_async_scenario(25);
+  cfg.faults.dropout_prob = 0.3;
+  harness::Experiment exp(cfg);
+  auto strat = harness::make_strategy("fedl", cfg);
+  const auto res = exp.run(*strat);
+  EXPECT_GT(res.epochs_run, 0u);
+  EXPECT_LE(res.trace.total_cost(), cfg.budget + 1e-9);
+}
+
+}  // namespace
+}  // namespace fedl::fl

@@ -322,5 +322,62 @@ TEST(FedLEdge, IterationCountRespectsLMax) {
   }
 }
 
+// Runs `epochs` decide/observe cycles against a 6-client roster with a
+// width-2 pruned solve (client 0 is the cheapest, so it owns the floor
+// slot; one utility slot remains) and returns the set of client ids that
+// ever made it into the candidate list. Client 1's feedback carries a much
+// larger loss reduction than everyone else's, so the pure-exploit score
+// locks the utility slot onto it after the first observation.
+std::vector<bool> candidate_coverage(double width_explore,
+                                     std::size_t epochs) {
+  LearnerConfig cfg;
+  cfg.n_min = 1;
+  cfg.selection_width = 2;
+  cfg.width_explore = width_explore;
+  OnlineLearner learner(6, cfg);
+  BudgetLedger budget(1e6);
+  std::vector<bool> seen(6, false);
+  for (std::size_t t = 1; t <= epochs; ++t) {
+    sim::EpochContext ctx = ctx_with(
+        {client(0, 0.4, 0.1), client(1, 1.0, 0.1), client(2, 1.0, 0.1),
+         client(3, 1.0, 0.1), client(4, 1.0, 0.1), client(5, 1.0, 0.1)});
+    ctx.epoch = t;
+    const auto dec = learner.decide(ctx, budget);
+    fl::EpochOutcome out;
+    out.selected = dec.ids;
+    out.num_iterations = 1;
+    for (std::size_t id : dec.ids) {
+      seen[id] = true;
+      out.client_eta.push_back(0.3);
+      out.client_loss_reduction.push_back(id == 1 ? 0.5 : 0.05);
+      out.client_completed_iters.push_back(1);
+    }
+    out.train_loss_all = 1.0;
+    learner.observe(ctx, dec, out);
+  }
+  return seen;
+}
+
+TEST(LearnerEdge, ExploitOnlyPruningStarvesUnobservedClients) {
+  // β_w = 0 (the default): once client 1 posts its big Δ̂, the single
+  // utility slot never leaves it — clients 2–5 are starved for good. This
+  // is the failure mode the UCB bonus exists to fix.
+  const auto seen = candidate_coverage(0.0, 30);
+  EXPECT_TRUE(seen[0]);  // floor slot (cheapest)
+  EXPECT_TRUE(seen[1]);  // exploit winner
+  EXPECT_FALSE(seen[2]);
+  EXPECT_FALSE(seen[5]);
+}
+
+TEST(LearnerEdge, WidthExploreBonusRevisitsStarvedClients) {
+  // With β_w > 0 the sqrt(log t / n_k) term grows for never-observed
+  // clients relative to the repeatedly-seen exploit winner, so every client
+  // re-enters the candidate set within a modest horizon.
+  const auto seen = candidate_coverage(5.0, 30);
+  for (std::size_t id = 0; id < 6; ++id)
+    EXPECT_TRUE(seen[id]) << "client " << id
+                          << " never entered the candidate set";
+}
+
 }  // namespace
 }  // namespace fedl::core

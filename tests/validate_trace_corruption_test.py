@@ -14,6 +14,8 @@ naming the violation:
   * a broken determinism-digest chain (prev != previous digest)
   * an anomaly record naming an unknown monitor
   * a manifest with a wrong schema tag / an unexplained final digest
+  * a virtual-clock event stream (--async runs) that runs backwards,
+    mis-counts a flush, or leaks a field that must be null for its kind
 """
 
 import argparse
@@ -56,6 +58,14 @@ def anomaly_event(monitor):
     return {"type": "anomaly", "algorithm": "fedl", "epoch": 2,
             "monitor": monitor, "observed": 12.0, "limit": 10.0,
             "detail": "epoch cost 12 exceeds paced cap 10"}
+
+
+def async_event(kind, vt, epoch, client=None, version=0, staleness=None,
+                buffer=None, aggregated=None):
+    return {"type": "event", "algorithm": "fedl", "kind": kind, "vt": vt,
+            "epoch": epoch, "client": client, "version": version,
+            "staleness": staleness, "buffer": buffer,
+            "aggregated": aggregated}
 
 
 def manifest_doc():
@@ -161,6 +171,41 @@ def main():
     expect("manifest_phantom_digest_rejected", phantom_digest, 1,
            "no run digested", flag="--manifest")
 
+    # Virtual-clock event records (--async runs): a well-formed
+    # dispatch/complete/flush stream interleaved with epoch events passes.
+    async_ok = [
+        epoch_event(1, 2.0),
+        async_event("dispatch", 0.0, 2, client=0),
+        async_event("dispatch", 0.0, 2, client=1),
+        async_event("complete", 0.5, 2, client=0, version=0, staleness=0,
+                    buffer=1),
+        async_event("complete", 0.7, 2, client=1, version=0, staleness=0,
+                    buffer=2),
+        async_event("flush", 0.7, 2, version=1, staleness=0, buffer=0,
+                    aggregated=2),
+        epoch_event(2, 4.0),
+    ]
+    expect("async_events_accepted", async_ok, 0, "")
+
+    # The virtual clock is monotone within a trial; only a dispatch at
+    # vt == 0.0 (a new trial in a grid trace) may reset it.
+    backwards = copy.deepcopy(async_ok)
+    backwards[4]["vt"] = 0.3
+    expect("async_vt_backwards_rejected", backwards, 1,
+           "virtual clock ran backwards")
+
+    # FedBuff flush accounting: aggregated must equal the completes that
+    # arrived since the previous flush.
+    shortflush = copy.deepcopy(async_ok)
+    shortflush[5]["aggregated"] = 1
+    expect("async_flush_miscount_rejected", shortflush, 1,
+           "updates completed since the last flush")
+
+    # Per-kind null contract: a dispatch has no staleness yet.
+    leaky = copy.deepcopy(async_ok)
+    leaky[1]["staleness"] = 0
+    expect("async_dispatch_nonnull_rejected", leaky, 1, "has non-null")
+
     # Series export: parallel-array length mismatch is corruption.
     series_doc = {"capacity": 8, "series": {
         "fl.test_loss": {"epochs": [1, 2], "values": [0.5, 0.4],
@@ -171,7 +216,7 @@ def main():
     expect("series_ragged_rejected", ragged, 1, "epochs vs",
            flag="--series")
 
-    total = 15
+    total = 19
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
     print(f"{total - len(failures)}/{total} corruption cases behaved",
